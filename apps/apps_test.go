@@ -1,0 +1,267 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bepi"
+)
+
+// planted builds a two-community graph with dense intra-group edges.
+func planted(t *testing.T, groups, size int, pIn, pOut float64, seed int64) *bepi.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := groups * size
+	var edges []bepi.Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u/size == v/size {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				edges = append(edges, bepi.Edge{Src: u, Dst: v}, bepi.Edge{Src: v, Dst: u})
+			}
+		}
+	}
+	g, err := bepi.NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func engine(t *testing.T, g *bepi.Graph) *bepi.Engine {
+	t.Helper()
+	eng, err := bepi.New(g, bepi.WithTolerance(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestRecommenderExcludesNeighborsAndSelf(t *testing.T) {
+	g := planted(t, 2, 40, 0.2, 0.01, 1)
+	eng := engine(t, g)
+	rec, err := NewRecommender(eng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 3
+	recs, err := rec.Recommend(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, r := range recs {
+		if r.Node == u {
+			t.Fatal("recommended self")
+		}
+		if g.HasEdge(u, r.Node) {
+			t.Fatalf("recommended existing neighbor %d", r.Node)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Fatal("not sorted by score")
+		}
+	}
+	// Recommendations should come from u's own community.
+	inGroup := 0
+	for _, r := range recs {
+		if r.Node/40 == u/40 {
+			inGroup++
+		}
+	}
+	if inGroup < len(recs)*3/4 {
+		t.Fatalf("only %d/%d recommendations in the seed's community", inGroup, len(recs))
+	}
+}
+
+func TestRecommenderSizeMismatch(t *testing.T) {
+	g := planted(t, 2, 20, 0.3, 0.02, 2)
+	eng := engine(t, g)
+	other := planted(t, 2, 10, 0.3, 0.02, 2)
+	if _, err := NewRecommender(eng, other); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestEvaluateHoldoutBeatsNothing(t *testing.T) {
+	full := planted(t, 2, 40, 0.25, 0.01, 3)
+	// Hide one edge per node for the first 20 nodes.
+	rng := rand.New(rand.NewSource(4))
+	hiddenSet := map[[2]int]bool{}
+	var hidden []bepi.Edge
+	for u := 0; u < 20; u++ {
+		nbrs := full.OutNeighbors(u)
+		if len(nbrs) < 3 {
+			continue
+		}
+		v := nbrs[rng.Intn(len(nbrs))]
+		if !hiddenSet[[2]int{u, v}] {
+			hiddenSet[[2]int{u, v}] = true
+			hidden = append(hidden, bepi.Edge{Src: u, Dst: v})
+		}
+	}
+	var train []bepi.Edge
+	for _, e := range full.Edges() {
+		if !hiddenSet[[2]int{e.Src, e.Dst}] {
+			train = append(train, e)
+		}
+	}
+	tg, err := bepi.NewGraph(full.N(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine(t, tg)
+	rec, err := NewRecommender(eng, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.EvaluateHoldout(hidden, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested != len(hidden) {
+		t.Fatalf("tested %d, want %d", res.Tested, len(hidden))
+	}
+	// With dense communities of 40 nodes and top-15 candidates, RWR should
+	// recover a sizeable fraction of hidden edges.
+	if res.HitRate() < 0.3 {
+		t.Fatalf("hit rate %.2f too low", res.HitRate())
+	}
+}
+
+func TestLocalCommunityRecoversPlantedGroup(t *testing.T) {
+	g := planted(t, 4, 50, 0.15, 0.002, 5)
+	eng := engine(t, g)
+	com, err := LocalCommunity(eng, g, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(com.Members) == 0 {
+		t.Fatal("empty community")
+	}
+	if !com.Contains(10) {
+		t.Fatal("community should contain the seed")
+	}
+	correct := 0
+	for _, u := range com.Members {
+		if u/50 == 0 {
+			correct++
+		}
+	}
+	prec := float64(correct) / float64(len(com.Members))
+	if prec < 0.9 {
+		t.Fatalf("precision %.2f (size %d)", prec, len(com.Members))
+	}
+	if com.Conductance <= 0 || com.Conductance >= 0.5 {
+		t.Fatalf("conductance %v outside expected range", com.Conductance)
+	}
+	// The sweep's conductance must agree with the standalone computation.
+	if got := Conductance(g, com.Members); math.Abs(got-com.Conductance) > 1e-12 {
+		t.Fatalf("Conductance(%d nodes) = %v, sweep said %v", len(com.Members), got, com.Conductance)
+	}
+}
+
+func TestConductanceEdgeCases(t *testing.T) {
+	g := planted(t, 2, 10, 0.5, 0.05, 6)
+	if got := Conductance(g, nil); got != 1 {
+		t.Fatalf("empty set conductance = %v", got)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	if got := Conductance(g, all); got != 1 {
+		t.Fatalf("full set conductance = %v", got)
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := planted(t, 2, 30, 0.2, 0.05, 7)
+	eng := engine(t, g)
+	pr, err := PageRank(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, v := range pr {
+		if v < 0 {
+			t.Fatalf("negative PageRank at %d", i)
+		}
+		sum += v
+	}
+	// No deadends in a planted symmetric graph, so mass is conserved.
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank mass %v, want 1", sum)
+	}
+	// Higher-degree nodes should tend to rank higher: compare the max
+	// against the min-degree node.
+	maxDeg, maxNode := -1, -1
+	minDeg, minNode := 1<<30, -1
+	for u := 0; u < g.N(); u++ {
+		d := g.OutDegree(u)
+		if d > maxDeg {
+			maxDeg, maxNode = d, u
+		}
+		if d < minDeg {
+			minDeg, minNode = d, u
+		}
+	}
+	if maxDeg > 2*minDeg && pr[maxNode] <= pr[minNode] {
+		t.Fatalf("degree-%d node (%v) should outrank degree-%d node (%v)",
+			maxDeg, pr[maxNode], minDeg, pr[minNode])
+	}
+}
+
+func TestEdgeAnomaly(t *testing.T) {
+	// Two 4-cliques {0..3} and {4..7} joined only by 0↔4. From node 0's
+	// perspective the cross-clique edge is the anomalous one: its own
+	// clique mates reinforce each other's scores, the stranger does not.
+	var edges []bepi.Edge
+	clique := func(lo, hi int) {
+		for u := lo; u <= hi; u++ {
+			for v := lo; v <= hi; v++ {
+				if u != v {
+					edges = append(edges, bepi.Edge{Src: u, Dst: v})
+				}
+			}
+		}
+	}
+	clique(0, 3)
+	clique(4, 7)
+	edges = append(edges, bepi.Edge{Src: 0, Dst: 4}, bepi.Edge{Src: 4, Dst: 0})
+	g, err := bepi.NewGraph(8, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine(t, g)
+	aClique, err := EdgeAnomaly(eng, g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCross, err := EdgeAnomaly(eng, g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aCross <= aClique {
+		t.Fatalf("cross-clique anomaly %v should exceed in-clique %v", aCross, aClique)
+	}
+	if aCross != 1 {
+		t.Fatalf("stranger should be the least expected neighbor, got %v", aCross)
+	}
+	// Degenerate: a node with one neighbor has nothing to compare against.
+	single, err := bepi.NewGraph(2, []bepi.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sEng := engine(t, single)
+	if a, err := EdgeAnomaly(sEng, single, 0, 1); err != nil || a != 0 {
+		t.Fatalf("single-neighbor anomaly = %v, %v", a, err)
+	}
+}

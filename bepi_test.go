@@ -1,0 +1,232 @@
+package bepi
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/vec"
+)
+
+func ringGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, 0, 2*n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, Edge{i, (i + 1) % n}, Edge{(i + 1) % n, i})
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+	g, err := NewGraph(3, []Edge{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 1 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadGraphAndWriteEdgeList(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("0 1\n1 2\n# x\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != g.M() {
+		t.Fatal("round trip changed edges")
+	}
+}
+
+func TestEngineQueryMatchesExact(t *testing.T) {
+	g := RMAT(8, 6, 99)
+	eng, err := New(g, WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := 5
+	got, err := eng.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ExactDense(g.Internal(), core.DefaultC, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.Dist2(got, want); d > 1e-7 {
+		t.Fatalf("distance to exact %v", d)
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	g := ringGraph(t, 50)
+	eng, err := New(g,
+		WithRestartProb(0.15),
+		WithVariant(BePIS),
+		WithHubRatio(0.3),
+		WithMaxIterations(500),
+		WithTolerance(1e-10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := eng.Internal().Options()
+	if opts.C != 0.15 || opts.Variant != BePIS || opts.HubRatio != 0.3 ||
+		opts.MaxIter != 500 || opts.Tol != 1e-10 {
+		t.Fatalf("options lost: %+v", opts)
+	}
+}
+
+func TestBudgetOptions(t *testing.T) {
+	g := RMAT(9, 6, 3)
+	if _, err := New(g, WithMemoryBudget(128)); err == nil {
+		t.Fatal("expected memory budget error")
+	}
+	if _, err := New(g, WithDeadline(time.Nanosecond)); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for nil graph")
+	}
+}
+
+func TestPersonalizedLinearity(t *testing.T) {
+	g := RMAT(7, 5, 17)
+	eng, err := New(g, WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, g.N())
+	q[1], q[2] = 0.25, 0.75
+	got, err := eng.Personalized(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := eng.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Query(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := 0.25*r1[i] + 0.75*r2[i]
+		if math.Abs(got[i]-want) > 1e-8 {
+			t.Fatalf("Personalized[%d] = %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestTopKAndStats(t *testing.T) {
+	g := ringGraph(t, 30)
+	eng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := eng.TopK(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 4 {
+		t.Fatalf("len = %d", len(top))
+	}
+	// On a symmetric ring, the seed's two neighbors tie for first.
+	if !(top[0].Node == 1 || top[0].Node == 29) {
+		t.Fatalf("top = %+v", top)
+	}
+	_, st, err := eng.QueryWithStats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duration <= 0 {
+		t.Fatal("missing duration")
+	}
+	if eng.MemoryBytes() <= 0 || eng.PreprocessTime() <= 0 {
+		t.Fatal("missing accounting")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := RMAT(8, 5, 4)
+	eng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != eng.N() {
+		t.Fatal("node count lost")
+	}
+	want, err := eng.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.Dist2(got, want); d > 1e-12 {
+		t.Fatalf("reloaded engine differs by %v", d)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := RMAT(9, 6, 5)
+	eng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			got, err := eng.Query(1)
+			if err == nil && vec.Dist2(got, want) > 1e-12 {
+				err = errDiffer
+			}
+			errs <- err
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDiffer = errStr("concurrent query differs")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }

@@ -1,0 +1,52 @@
+// Command bepi-serve serves RWR queries from a preprocessed index over
+// HTTP/JSON.
+//
+//	bepi-serve -index graph.idx -addr :8080
+//
+//	curl localhost:8080/query?seed=42&topk=10
+//	curl localhost:8080/stats
+//	curl -X POST localhost:8080/personalized -d '{"weights":{"3":0.5,"9":0.5}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"bepi"
+	"bepi/internal/server"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *indexPath == "" {
+		fmt.Fprintln(os.Stderr, "bepi-serve: -index is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*indexPath)
+	if err != nil {
+		log.Fatalf("bepi-serve: %v", err)
+	}
+	start := time.Now()
+	eng, err := bepi.Load(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("bepi-serve: loading index: %v", err)
+	}
+	log.Printf("loaded %s (%d nodes, %d bytes) in %v",
+		*indexPath, eng.N(), eng.MemoryBytes(), time.Since(start).Round(time.Millisecond))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving RWR queries on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("bepi-serve: %v", err)
+	}
+}

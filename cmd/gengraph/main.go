@@ -1,0 +1,82 @@
+// Command gengraph writes synthetic benchmark graphs as edge lists.
+//
+//	gengraph -kind rmat -scale 14 -ef 12 -seed 1 -out graph.txt
+//	gengraph -kind ba   -n 10000 -m 5   -seed 1 -out graph.txt
+//	gengraph -kind er   -n 10000 -edges 80000 -seed 1 -out graph.txt
+//	gengraph -kind ws   -n 241 -k 4 -beta 0.1 -seed 1 -out graph.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bepi/internal/gen"
+	"bepi/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "generator: rmat | hybrid | ba | er | ws | fig2")
+	format := flag.String("format", "edgelist", "output format: edgelist | mtx")
+	out := flag.String("out", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "random seed")
+	// R-MAT parameters.
+	scale := flag.Int("scale", 12, "rmat: log2 of node count")
+	ef := flag.Int("ef", 8, "rmat: edge factor")
+	deadends := flag.Float64("deadends", 0.2, "rmat: injected deadend fraction")
+	// Shared size parameters.
+	n := flag.Int("n", 10000, "ba/er/ws: node count")
+	m := flag.Int("m", 3, "ba: edges per new node")
+	edges := flag.Int("edges", 50000, "er: edge count")
+	k := flag.Int("k", 4, "ws: neighbors per side")
+	beta := flag.Float64("beta", 0.1, "ws: rewiring probability")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		cfg := gen.DefaultRMAT(*scale, *ef, *seed)
+		cfg.DeadendFrac = *deadends
+		g = gen.RMAT(cfg)
+	case "hybrid":
+		cfg := gen.DefaultHybrid(*scale, *ef, *seed)
+		cfg.DeadendFrac = *deadends
+		g = gen.Hybrid(cfg)
+	case "ba":
+		g = gen.BarabasiAlbert(*n, *m, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, *edges, *seed)
+	case "ws":
+		g = gen.WattsStrogatz(*n, *k, *beta, *seed)
+	case "fig2":
+		g = gen.Figure2()
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "edgelist":
+		err = g.WriteEdgeList(w)
+	case "mtx":
+		err = g.WriteMatrixMarket(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gengraph: %s kind=%s\n", g, *kind)
+}

@@ -1,0 +1,147 @@
+package bepi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dynamic maintains an RWR index over a graph that receives edge updates.
+// It implements the batch-update strategy the paper describes for dynamic
+// graphs (§5): updates accumulate in a buffer while queries are served from
+// the current index; Flush folds the buffered updates into the graph and
+// re-runs BePI's (fast) preprocessing. BePI's preprocessing speed is what
+// makes this strategy practical — rebuilding is the operation Figure 1(a)
+// shows it winning by orders of magnitude.
+//
+// Dynamic is safe for concurrent use; queries proceed concurrently while
+// updates buffer, and Flush swaps the index atomically.
+type Dynamic struct {
+	mu      sync.RWMutex
+	opts    []Option
+	n       int
+	edges   map[[2]int]bool
+	pending map[[2]int]bool // true = insert, false = delete
+	engine  *Engine
+}
+
+// NewDynamic builds the initial index for g. The options apply to every
+// rebuild.
+func NewDynamic(g *Graph, opts ...Option) (*Dynamic, error) {
+	eng, err := New(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dynamic{
+		opts:    opts,
+		n:       g.N(),
+		edges:   make(map[[2]int]bool, g.M()),
+		pending: make(map[[2]int]bool),
+		engine:  eng,
+	}
+	for _, e := range g.Edges() {
+		d.edges[[2]int{e.Src, e.Dst}] = true
+	}
+	return d, nil
+}
+
+// N returns the current number of nodes (including nodes added since the
+// last flush; those are visible to queries only after Flush).
+func (d *Dynamic) N() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n
+}
+
+// AddNode grows the node set by one and returns the new node's id.
+// The node becomes queryable after the next Flush.
+func (d *Dynamic) AddNode() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.n
+	d.n++
+	return id
+}
+
+// AddEdge buffers the insertion of edge (src, dst).
+func (d *Dynamic) AddEdge(src, dst int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if src < 0 || src >= d.n || dst < 0 || dst >= d.n {
+		return fmt.Errorf("bepi: edge (%d,%d) out of range n=%d", src, dst, d.n)
+	}
+	d.pending[[2]int{src, dst}] = true
+	return nil
+}
+
+// RemoveEdge buffers the deletion of edge (src, dst).
+func (d *Dynamic) RemoveEdge(src, dst int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if src < 0 || src >= d.n || dst < 0 || dst >= d.n {
+		return fmt.Errorf("bepi: edge (%d,%d) out of range n=%d", src, dst, d.n)
+	}
+	d.pending[[2]int{src, dst}] = false
+	return nil
+}
+
+// Pending returns the number of buffered updates not yet reflected in the
+// index.
+func (d *Dynamic) Pending() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pending)
+}
+
+// Flush applies all buffered updates and rebuilds the index. On error the
+// previous index keeps serving and the buffer is preserved.
+func (d *Dynamic) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pending) == 0 && d.engine != nil && d.engine.N() == d.n {
+		return nil
+	}
+	next := make(map[[2]int]bool, len(d.edges)+len(d.pending))
+	for e := range d.edges {
+		next[e] = true
+	}
+	for e, insert := range d.pending {
+		if insert {
+			next[e] = true
+		} else {
+			delete(next, e)
+		}
+	}
+	edges := make([]Edge, 0, len(next))
+	for e := range next {
+		edges = append(edges, Edge{Src: e[0], Dst: e[1]})
+	}
+	g, err := NewGraph(d.n, edges)
+	if err != nil {
+		return err
+	}
+	eng, err := New(g, d.opts...)
+	if err != nil {
+		return fmt.Errorf("bepi: rebuilding dynamic index: %w", err)
+	}
+	d.edges = next
+	d.pending = make(map[[2]int]bool)
+	d.engine = eng
+	return nil
+}
+
+// Query answers from the most recently flushed index; buffered updates are
+// not yet visible (the paper's batch-update semantics).
+func (d *Dynamic) Query(seed int) ([]float64, error) {
+	d.mu.RLock()
+	eng := d.engine
+	d.mu.RUnlock()
+	return eng.Query(seed)
+}
+
+// TopK answers from the most recently flushed index.
+func (d *Dynamic) TopK(seed, k int) ([]Ranked, error) {
+	d.mu.RLock()
+	eng := d.engine
+	d.mu.RUnlock()
+	return eng.TopK(seed, k)
+}

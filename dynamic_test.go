@@ -1,0 +1,190 @@
+package bepi
+
+import (
+	"sync"
+	"testing"
+
+	"bepi/internal/core"
+	"bepi/internal/vec"
+)
+
+func dynGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(6, []Edge{
+		{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDynamicServesStaleUntilFlush(t *testing.T) {
+	g := dynGraph(t)
+	d, err := NewDynamic(g, WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := d.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	stale, err := d.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Dist2(before, stale) != 0 {
+		t.Fatal("query changed before flush")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("pending not cleared")
+	}
+	after, err := d.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[5] <= 0 {
+		t.Fatal("new edge not reflected after flush")
+	}
+	if vec.Dist2(before, after) == 0 {
+		t.Fatal("flush had no effect")
+	}
+}
+
+func TestDynamicMatchesFreshEngine(t *testing.T) {
+	g := dynGraph(t)
+	d, err := NewDynamic(g, WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh engine over the same final edge set.
+	fresh, err := NewGraph(6, []Edge{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 0}, {1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(fresh, WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd := vec.Dist2(got, want); dd > 1e-9 {
+		t.Fatalf("dynamic vs fresh distance %v", dd)
+	}
+	// And against the exact dense ground truth.
+	exact, err := core.ExactDense(fresh.Internal(), core.DefaultC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd := vec.Dist2(got, exact); dd > 1e-7 {
+		t.Fatalf("dynamic vs exact distance %v", dd)
+	}
+}
+
+func TestDynamicAddNode(t *testing.T) {
+	g := dynGraph(t)
+	d, err := NewDynamic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := d.AddNode()
+	if id != 6 || d.N() != 7 {
+		t.Fatalf("AddNode id=%d N=%d", id, d.N())
+	}
+	if err := d.AddEdge(0, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Query(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 7 || r[0] <= 0 {
+		t.Fatalf("new node not queryable: %v", r)
+	}
+}
+
+func TestDynamicEdgeValidation(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(0, 99); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := d.RemoveEdge(-1, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestDynamicFlushNoPendingIsCheap(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicConcurrentQueriesDuringUpdates(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Query(0); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.AddEdge(i, (i+2)%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package bepi_test
+
+import (
+	"fmt"
+
+	"bepi"
+)
+
+// ExampleNew demonstrates the basic preprocess-then-query flow.
+func ExampleNew() {
+	// A 4-node cycle with one branch.
+	g, _ := bepi.NewGraph(4, []bepi.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	})
+	eng, _ := bepi.New(g)
+	scores, _ := eng.Query(0)
+	fmt.Printf("seed score %.3f, reachable nodes %d\n", scores[0], len(scores))
+	// Output:
+	// seed score 0.088, reachable nodes 4
+}
+
+// ExampleEngine_TopK ranks the nodes most related to a seed.
+func ExampleEngine_TopK() {
+	g, _ := bepi.NewGraph(5, []bepi.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 0, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 3},
+	})
+	eng, _ := bepi.New(g)
+	top, _ := eng.TopK(0, 2)
+	for _, r := range top {
+		fmt.Println(r.Node)
+	}
+	// Output:
+	// 2
+	// 3
+}
+
+// ExampleEngine_Personalized computes multi-seed Personalized PageRank.
+func ExampleEngine_Personalized() {
+	g, _ := bepi.NewGraph(3, []bepi.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+	})
+	eng, _ := bepi.New(g)
+	q := []float64{0.5, 0.5, 0} // restart at nodes 0 and 1 equally
+	r, _ := eng.Personalized(q)
+	fmt.Printf("%.2f > %.2f: %v\n", r[1], r[2], r[1] > r[2])
+	// Output:
+	// 0.34 > 0.32: true
+}

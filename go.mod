@@ -1,0 +1,3 @@
+module bepi
+
+go 1.22

@@ -1,0 +1,125 @@
+package bepi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"bepi"
+	"bepi/apps"
+	"bepi/internal/core"
+	"bepi/internal/server"
+	"bepi/internal/vec"
+)
+
+// TestEndToEndPipeline chains the whole system the way a deployment would:
+// generate a graph, preprocess, persist, reload, serve over HTTP, run an
+// application on top, mutate the graph through the dynamic wrapper — and
+// checks every stage against the same exact ground truth.
+func TestEndToEndPipeline(t *testing.T) {
+	g := bepi.RMAT(9, 6, 31)
+	seed := -1
+	for u := 0; u < g.N(); u++ {
+		if g.OutDegree(u) > 1 {
+			seed = u
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no connected seed")
+	}
+
+	// 1. Preprocess and query.
+	eng, err := bepi.New(g, bepi.WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := eng.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Exact ground truth.
+	exact, err := core.ExactDense(g.Internal(), core.DefaultC, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.Dist2(scores, exact); d > 1e-7 {
+		t.Fatalf("engine vs exact: %v", d)
+	}
+
+	// 3. Persist and reload; answers must be bit-identical.
+	var buf bytes.Buffer
+	if err := eng.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := bepi.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := reloaded.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Dist2(scores, r2) != 0 {
+		t.Fatal("reloaded index differs")
+	}
+
+	// 4. Serve the reloaded index over HTTP and compare scores.
+	srv := httptest.NewServer(server.New(reloaded))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?seed=" + strconv.Itoa(seed) + "&full=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Scores []float64 `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.Dist2(payload.Scores, scores); d != 0 {
+		t.Fatalf("HTTP scores differ by %v", d)
+	}
+
+	// 5. Application layer: recommendations exclude known neighbors.
+	rec, err := apps.NewRecommender(eng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rec.Recommend(seed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if g.HasEdge(seed, r.Node) || r.Node == seed {
+			t.Fatal("bad recommendation")
+		}
+	}
+
+	// 6. Dynamic wrapper: adding the top recommendation as a real edge and
+	// flushing must change the seed's scores.
+	dyn, err := bepi.NewDynamic(g, bepi.WithTolerance(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 0 {
+		if err := dyn.AddEdge(seed, recs[0].Node); err != nil {
+			t.Fatal(err)
+		}
+		if err := dyn.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		after, err := dyn.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vec.Dist2(after, scores) == 0 {
+			t.Fatal("flush did not affect scores")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/lu"
+	"bepi/internal/montecarlo"
+	"bepi/internal/reorder"
+	"bepi/internal/vec"
+)
+
+// Extra ablation experiments beyond the paper's figures, covering the
+// design choices DESIGN.md calls out: the Schur solver, the GMRES restart
+// length, and the H11 factorization strategy.
+
+// AblationExperiments returns the beyond-paper ablations.
+func AblationExperiments() []Experiment {
+	return []Experiment{
+		{"abl-solver", "Ablation: GMRES vs BiCGSTAB for the Schur solve", AblationSolver},
+		{"abl-restart", "Ablation: GMRES restart length vs query time", AblationRestart},
+		{"abl-h11", "Ablation: per-block dense LU vs sparse LU for H11", AblationH11},
+		{"abl-mc", "Ablation: exact BePI vs Monte Carlo approximation (§5 context)", AblationMonteCarlo},
+		{"abl-reorder", "Ablation: iterated SlashBurn vs one-shot hub removal", AblationReorder},
+	}
+}
+
+// AblationReorder quantifies why SlashBurn iterates: capping it at one
+// slash-and-burn round leaves the giant component in the hub region,
+// inflating n2 and |S| — the exact costs Theorems 1–3 tie query and memory
+// performance to.
+func AblationReorder(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Ablation: SlashBurn iteration budget (k=0.2)",
+		Note:   "one-shot hub removal dumps the residual GCC into the hub region",
+		Header: []string{"dataset", "iterations", "n1", "n2", "|S|", "prep time"},
+	}
+	datasets := Suite(cfg.Size)
+	if len(datasets) > 4 {
+		datasets = datasets[:4]
+	}
+	for _, d := range datasets {
+		for _, cap := range []int{1, 3, 0} {
+			label := fmt.Sprintf("%d", cap)
+			if cap == 0 {
+				label = "unlimited"
+			}
+			start := time.Now()
+			ord := reorder.HubAndSpokeIters(d.G, 0.2, cap)
+			h := core.BuildH(d.G, ord.Perm, core.DefaultC)
+			n1, n2 := ord.N1, ord.N2
+			l := n1 + n2
+			h11 := h.Block(0, n1, 0, n1)
+			f, err := lu.FactorBlockDiag(h11, ord.Blocks)
+			if err != nil {
+				return nil, fmt.Errorf("%s cap %d: %w", d.Name, cap, err)
+			}
+			s := core.SchurComplement(h.Block(n1, l, n1, l), h.Block(n1, l, 0, n1), h.Block(0, n1, n1, l), f)
+			t.AddRow(d.Name, label, FmtCount(n1), FmtCount(n2),
+				FmtCount(s.NNZ()), FmtDuration(time.Since(start)))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// AblationSolver compares GMRES against BiCGSTAB as the per-query Schur
+// solver (both ILU(0)-preconditioned).
+func AblationSolver(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Ablation: Schur solver (both ILU(0)-preconditioned)",
+		Note:   "GMRES is the paper's choice; BiCGSTAB does 2 mat-vecs/iter but stores no Krylov basis",
+		Header: []string{"dataset", "query GMRES", "iters", "query BiCGSTAB", "iters"},
+	}
+	for di, d := range Suite(cfg.Size) {
+		seeds := QuerySeeds(d.G, cfg.Seeds, int64(di))
+		row := []string{d.Name}
+		for _, slv := range []core.SchurSolver{core.SolverGMRES, core.SolverBiCGSTAB} {
+			e, err := core.Preprocess(d.G, core.Options{
+				Variant: core.VariantFull, Tol: cfg.Tol, Solver: slv, MaxIter: 4000,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", d.Name, slv, err)
+			}
+			var total time.Duration
+			var iters int
+			for _, s := range seeds {
+				_, st, err := e.Query(s)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%v seed %d: %w", d.Name, slv, s, err)
+				}
+				total += st.Duration
+				iters += st.Iterations
+			}
+			row = append(row,
+				FmtDuration(total/time.Duration(len(seeds))),
+				fmt.Sprintf("%.1f", float64(iters)/float64(len(seeds))))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// AblationRestart measures how restarting GMRES (shorter Krylov bases)
+// trades iterations for memory on the Schur solve.
+func AblationRestart(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	restarts := []int{0, 5, 10, 20}
+	t := &Table{
+		Title:  "Ablation: GMRES restart length",
+		Note:   "restart 0 = full GMRES (the paper's configuration)",
+		Header: []string{"dataset", "restart", "query time", "iters"},
+	}
+	datasets := Suite(cfg.Size)
+	if len(datasets) > 2 {
+		datasets = datasets[:2]
+	}
+	for di, d := range datasets {
+		seeds := QuerySeeds(d.G, cfg.Seeds, int64(di))
+		for _, rs := range restarts {
+			e, err := core.Preprocess(d.G, core.Options{
+				Variant: core.VariantFull, Tol: cfg.Tol,
+				GMRESRestart: rs, MaxIter: 4000,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s restart %d: %w", d.Name, rs, err)
+			}
+			var total time.Duration
+			var iters int
+			for _, s := range seeds {
+				_, st, err := e.Query(s)
+				if err != nil {
+					return nil, fmt.Errorf("%s restart %d seed %d: %w", d.Name, rs, s, err)
+				}
+				total += st.Duration
+				iters += st.Iterations
+			}
+			label := fmt.Sprintf("%d", rs)
+			if rs == 0 {
+				label = "full"
+			}
+			t.AddRow(d.Name, label,
+				FmtDuration(total/time.Duration(len(seeds))),
+				fmt.Sprintf("%.1f", float64(iters)/float64(len(seeds))))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// AblationMonteCarlo contrasts exact BePI queries with Monte Carlo RWR
+// estimation at several walk budgets: the approximate family the paper
+// surveys (§5) trades unbounded accuracy for preprocessing-free queries.
+// The table shows why applications needing exact scores prefer BePI: error
+// shrinks only as 1/√walks while cost grows linearly.
+func AblationMonteCarlo(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Ablation: exact BePI vs Monte Carlo estimation",
+		Note:   "error = L2 distance to BePI's (exact) result, averaged over seeds",
+		Header: []string{"dataset", "walks", "MC query", "MC L2 error", "BePI query"},
+	}
+	walkBudgets := []int{1_000, 10_000, 100_000}
+	datasets := Suite(cfg.Size)
+	if len(datasets) > 2 {
+		datasets = datasets[:2]
+	}
+	for di, d := range datasets {
+		e, err := core.Preprocess(d.G, core.Options{Tol: cfg.Tol})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		est, err := montecarlo.New(d.G, core.DefaultC, 555)
+		if err != nil {
+			return nil, err
+		}
+		seeds := QuerySeeds(d.G, minI2(cfg.Seeds, 5), int64(di))
+		var bepiTotal time.Duration
+		exact := make([][]float64, len(seeds))
+		for i, s := range seeds {
+			r, st, err := e.Query(s)
+			if err != nil {
+				return nil, fmt.Errorf("%s seed %d: %w", d.Name, s, err)
+			}
+			exact[i] = r
+			bepiTotal += st.Duration
+		}
+		bepiAvg := bepiTotal / time.Duration(len(seeds))
+		for _, w := range walkBudgets {
+			var mcTotal time.Duration
+			var errSum float64
+			for i, s := range seeds {
+				start := time.Now()
+				r, err := est.Query(s, w)
+				if err != nil {
+					return nil, err
+				}
+				mcTotal += time.Since(start)
+				errSum += vec.Dist2(r, exact[i])
+			}
+			t.AddRow(d.Name, FmtCount(w),
+				FmtDuration(mcTotal/time.Duration(len(seeds))),
+				fmt.Sprintf("%.2e", errSum/float64(len(seeds))),
+				FmtDuration(bepiAvg))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+func minI2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AblationH11 compares the two ways to make H11 solvable: the paper's
+// per-block dense LU against a Gilbert–Peierls sparse LU of the whole
+// block-diagonal matrix.
+func AblationH11(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Ablation: H11 factorization strategy",
+		Note:   "factor time and storage for H11 = the spoke block after SlashBurn (k=0.2)",
+		Header: []string{"dataset", "n1", "blocks", "blockLU time", "blockLU bytes", "sparseLU time", "sparseLU bytes"},
+	}
+	for _, d := range Suite(cfg.Size) {
+		ord := reorder.HubAndSpoke(d.G, 0.2)
+		h := core.BuildH(d.G, ord.Perm, core.DefaultC)
+		h11 := h.Block(0, ord.N1, 0, ord.N1)
+
+		t0 := time.Now()
+		blk, err := lu.FactorBlockDiag(h11, ord.Blocks)
+		if err != nil {
+			return nil, fmt.Errorf("%s blockLU: %w", d.Name, err)
+		}
+		blkTime := time.Since(t0)
+
+		t0 = time.Now()
+		sp, err := lu.FactorSparse(h11, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s sparseLU: %w", d.Name, err)
+		}
+		spTime := time.Since(t0)
+
+		t.AddRow(d.Name, FmtCount(ord.N1), FmtCount(len(ord.Blocks)),
+			FmtDuration(blkTime), FmtBytes(blk.MemoryBytes()),
+			FmtDuration(spTime), FmtBytes(sp.MemoryBytes()))
+	}
+	return []*Table{t}, nil
+}

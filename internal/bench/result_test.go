@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bepi/internal/graph"
+	"bepi/internal/method"
+)
+
+// failingMethod fails preprocessing with a chosen error.
+type failingMethod struct{ err error }
+
+func (f failingMethod) Name() string                  { return "fail" }
+func (f failingMethod) IsPreprocessing() bool         { return true }
+func (f failingMethod) Preprocess(*graph.Graph) error { return f.err }
+func (f failingMethod) Query(int) ([]float64, method.QueryInfo, error) {
+	return nil, method.QueryInfo{}, nil
+}
+func (f failingMethod) PrepTime() time.Duration { return 0 }
+func (f failingMethod) MemoryBytes() int64      { return 0 }
+
+func TestRunOneClassifiesOutcomes(t *testing.T) {
+	d := Suite(Tiny)[0]
+	cases := []struct {
+		err  error
+		want Outcome
+	}{
+		{method.ErrOutOfMemory, OOM},
+		{errors.Join(method.ErrOutOfTime, errors.New("detail")), OOT},
+		{errors.New("something else"), ERR},
+	}
+	for _, c := range cases {
+		res := RunOne(failingMethod{err: c.err}, d, []int{0})
+		if res.Outcome != c.want {
+			t.Errorf("err %v: outcome %v want %v", c.err, res.Outcome, c.want)
+		}
+		if res.Err == nil {
+			t.Error("error not recorded")
+		}
+	}
+}
+
+func TestResultCells(t *testing.T) {
+	ok := Result{Outcome: OK, PrepTime: time.Second, Memory: 1 << 20, AvgQuery: time.Millisecond}
+	if ok.prepCell() != "1.00s" || ok.memCell() != "1.0MiB" || ok.queryCell() != "1.00ms" {
+		t.Fatalf("ok cells: %q %q %q", ok.prepCell(), ok.memCell(), ok.queryCell())
+	}
+	bad := Result{Outcome: OOM}
+	if bad.prepCell() != "o.o.m." || bad.memCell() != "o.o.m." || bad.queryCell() != "o.o.m." {
+		t.Fatal("failure cells should show the outcome marker")
+	}
+}
+
+func TestRunOneMeasuresQueries(t *testing.T) {
+	d := Suite(Tiny)[0]
+	m := method.NewBePI(method.Config{})
+	res := RunOne(m, d, QuerySeeds(d.G, 3, 9))
+	if res.Outcome != OK {
+		t.Fatalf("outcome %v (%v)", res.Outcome, res.Err)
+	}
+	if res.PrepTime <= 0 || res.Memory <= 0 || res.AvgQuery <= 0 {
+		t.Fatalf("missing measurements: %+v", res)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bepi/internal/solver"
+	"bepi/internal/sparse"
+	"bepi/internal/vec"
+)
+
+// AccuracyBound estimates the Theorem-4 error bound for a query on the
+// given seed:
+//
+//	‖r* − r‖₂ ≤ ( √((α‖H31‖₂ + ‖H32‖₂)² + α² + 1) · ‖q̃2‖₂ / σmin(S) ) · ε
+//
+// with α = ‖H12‖₂ / σmin(H11). Matrix 2-norms are estimated by power
+// iteration on AᵀA and the smallest singular values by inverse power
+// iteration (using the block LU of H11 and GMRES solves on S), so the
+// returned value is a sharp numerical estimate rather than a loose analytic
+// envelope. Multiplying by the solver tolerance ε gives the guaranteed
+// error level; inverting the formula calibrates ε for a target accuracy.
+func (e *Engine) AccuracyBound(seed int) (float64, error) {
+	if seed < 0 || seed >= e.n {
+		return 0, fmt.Errorf("core: seed %d out of range [0,%d)", seed, e.n)
+	}
+	const (
+		normIters = 30
+		seedRNG   = 424242
+	)
+	n1, n2 := e.ord.N1, e.ord.N2
+	if n2 == 0 {
+		return 0, nil
+	}
+	c := e.opts.C
+
+	// ‖q̃2‖ for this seed.
+	qp := make([]float64, e.n)
+	qp[e.ord.Perm[seed]] = 1
+	t1 := make([]float64, n1)
+	for i := 0; i < n1; i++ {
+		t1[i] = c * qp[i]
+	}
+	e.h11LU.Solve(t1)
+	qt2 := make([]float64, n2)
+	e.h21.MulVec(qt2, t1)
+	for i := range qt2 {
+		qt2[i] = c*qp[n1+i] - qt2[i]
+	}
+	normQt2 := vec.Norm2(qt2)
+
+	normH12 := Norm2Est(e.h12, normIters, seedRNG)
+	normH31 := Norm2Est(e.h31, normIters, seedRNG+1)
+	normH32 := Norm2Est(e.h32, normIters, seedRNG+2)
+
+	sminH11, err := e.sminH11(normIters, seedRNG+3)
+	if err != nil {
+		return 0, err
+	}
+	sminS, err := e.sminSchur(normIters, seedRNG+4)
+	if err != nil {
+		return 0, err
+	}
+
+	alpha := 0.0
+	if n1 > 0 {
+		alpha = normH12 / sminH11
+	}
+	t := alpha*normH31 + normH32
+	return math.Sqrt(t*t+alpha*alpha+1) * normQt2 / sminS, nil
+}
+
+// Norm2Est estimates ‖A‖₂ by power iteration on AᵀA.
+func Norm2Est(a *sparse.CSR, iters int, seed int64) float64 {
+	if a.NNZ() == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, a.Cols())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, a.Rows())
+	var sigma float64
+	for it := 0; it < iters; it++ {
+		nx := vec.Norm2(x)
+		if nx == 0 {
+			return 0
+		}
+		vec.Scale(1/nx, x)
+		a.MulVec(y, x)
+		sigma = vec.Norm2(y)
+		a.MulVecT(x, y)
+	}
+	return sigma
+}
+
+// sminH11 estimates σmin(H11) by inverse power iteration on (H11ᵀH11)⁻¹,
+// using the precomputed block LU for the solves.
+func (e *Engine) sminH11(iters int, seed int64) (float64, error) {
+	n1 := e.ord.N1
+	if n1 == 0 {
+		return 1, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n1)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	var smin float64
+	for it := 0; it < iters; it++ {
+		nx := vec.Norm2(x)
+		if nx == 0 {
+			return 0, fmt.Errorf("core: σmin(H11) iteration collapsed")
+		}
+		vec.Scale(1/nx, x)
+		e.h11LU.SolveT(x) // y = H11⁻ᵀ x
+		e.h11LU.Solve(x)  // z = H11⁻¹ y  →  (H11ᵀH11)⁻¹ x
+		lambda := vec.Norm2(x)
+		smin = 1 / math.Sqrt(lambda)
+	}
+	return smin, nil
+}
+
+// sminSchur estimates σmin(S) by inverse power iteration with GMRES solves
+// on S and Sᵀ.
+func (e *Engine) sminSchur(iters int, seed int64) (float64, error) {
+	n2 := e.ord.N2
+	if n2 == 0 {
+		return 1, nil
+	}
+	st := e.schur.Transpose()
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	opts := solver.GMRESOptions{Tol: 1e-10, MaxIter: 500}
+	var smin float64
+	for it := 0; it < iters; it++ {
+		nx := vec.Norm2(x)
+		if nx == 0 {
+			return 0, fmt.Errorf("core: σmin(S) iteration collapsed")
+		}
+		vec.Scale(1/nx, x)
+		y, _, err := solver.GMRES(st, x, opts)
+		if err != nil {
+			return 0, fmt.Errorf("core: σmin(S) transpose solve: %w", err)
+		}
+		z, _, err := solver.GMRES(e.schur, y, opts)
+		if err != nil {
+			return 0, fmt.Errorf("core: σmin(S) solve: %w", err)
+		}
+		copy(x, z)
+		lambda := vec.Norm2(x)
+		smin = 1 / math.Sqrt(lambda)
+	}
+	return smin, nil
+}
+
+// ToleranceForTarget returns the solver tolerance ε that guarantees
+// ‖r* − r‖₂ ≤ target for queries on the given seed, by inverting the
+// Theorem-4 bound.
+func (e *Engine) ToleranceForTarget(seed int, target float64) (float64, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("core: target accuracy must be positive, got %v", target)
+	}
+	kappa, err := e.AccuracyBound(seed)
+	if err != nil {
+		return 0, err
+	}
+	if kappa == 0 {
+		return target, nil
+	}
+	return target / kappa, nil
+}

@@ -1,0 +1,381 @@
+// Package core implements BePI itself: the preprocessing phase
+// (Algorithms 1 and 3 of the paper — deadend + SlashBurn reordering, block
+// partitioning of H, per-block LU of H11, Schur complement construction,
+// and optional ILU(0) preconditioner), and the query phase (Algorithms 2
+// and 4 — block elimination with an iterative Schur solve).
+//
+// The three published variants are exposed through Options.Variant:
+//
+//	VariantB    — block elimination + plain GMRES on S (BePI-B, §3.3)
+//	VariantS    — + hub ratio chosen to sparsify S (BePI-S, §3.4)
+//	VariantFull — + ILU(0)-preconditioned GMRES (BePI, §3.5)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bepi/internal/graph"
+	"bepi/internal/lu"
+	"bepi/internal/reorder"
+	"bepi/internal/sparse"
+)
+
+// Variant selects which of the paper's three algorithm versions to run.
+type Variant int
+
+const (
+	// VariantFull is BePI, the complete algorithm: sparsified Schur
+	// complement plus ILU(0) preconditioning. It is the zero value, so an
+	// unconfigured Options runs full BePI.
+	VariantFull Variant = iota
+	// VariantB is BePI-B: block elimination with an unpreconditioned
+	// iterative Schur solve and a small fixed hub ratio (paper uses 0.001).
+	VariantB
+	// VariantS is BePI-S: like BePI-B but with a hub ratio that sparsifies
+	// the Schur complement (paper uses 0.2–0.3).
+	VariantS
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantB:
+		return "BePI-B"
+	case VariantS:
+		return "BePI-S"
+	case VariantFull:
+		return "BePI"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// DefaultC is the restart probability used throughout the paper's
+// experiments.
+const DefaultC = 0.05
+
+// DefaultTol is the paper's error tolerance ε.
+const DefaultTol = 1e-9
+
+// Options configures preprocessing and querying.
+type Options struct {
+	// C is the restart probability (0 < C < 1); default 0.05.
+	C float64
+	// Tol is the iterative-solver tolerance ε; default 1e-9.
+	Tol float64
+	// Variant selects BePI-B, BePI-S or full BePI; default VariantFull.
+	Variant Variant
+	// HubRatio overrides the SlashBurn hub selection ratio k. Zero selects
+	// the paper's defaults: 0.001 for BePI-B, 0.2 for BePI-S/BePI.
+	HubRatio float64
+	// MaxIter bounds GMRES iterations per query; default 1000.
+	MaxIter int
+	// GMRESRestart, if positive, restarts GMRES with that cycle length.
+	// Zero (default) runs full GMRES as the paper does.
+	GMRESRestart int
+	// Solver selects the iterative method for the Schur system. The paper
+	// uses GMRES (the default); BiCGSTAB is a short-recurrence alternative
+	// provided for the solver-ablation experiment.
+	Solver SchurSolver
+	// MemoryBudget, if positive, aborts preprocessing with
+	// ErrMemoryBudget when the preprocessed data would exceed this many
+	// bytes. Models the paper's out-of-memory outcomes.
+	MemoryBudget int64
+	// Deadline, if positive, aborts preprocessing with ErrDeadline once
+	// exceeded. Models the paper's 24-hour preprocessing timeout.
+	Deadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.C <= 0 || o.C >= 1 {
+		o.C = DefaultC
+	}
+	if o.Tol <= 0 {
+		o.Tol = DefaultTol
+	}
+	if o.HubRatio == 0 {
+		if o.Variant == VariantB {
+			o.HubRatio = 0.001
+		} else {
+			o.HubRatio = 0.2
+		}
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	return o
+}
+
+// SchurSolver names an iterative solver for the Schur-complement system.
+type SchurSolver int
+
+const (
+	// SolverGMRES is the paper's choice (default).
+	SolverGMRES SchurSolver = iota
+	// SolverBiCGSTAB trades the stored Krylov basis for two mat-vecs per
+	// iteration.
+	SolverBiCGSTAB
+)
+
+// String returns the solver's display name.
+func (s SchurSolver) String() string {
+	switch s {
+	case SolverBiCGSTAB:
+		return "BiCGSTAB"
+	default:
+		return "GMRES"
+	}
+}
+
+// Errors reported by preprocessing budget guards.
+var (
+	ErrMemoryBudget = errors.New("core: preprocessed data exceeds memory budget")
+	ErrDeadline     = errors.New("core: preprocessing deadline exceeded")
+)
+
+// PrepStats records where preprocessing time went and the sizes that
+// determine query cost.
+type PrepStats struct {
+	Total      time.Duration
+	Reorder    time.Duration
+	BuildH     time.Duration
+	FactorH11  time.Duration
+	Schur      time.Duration
+	ILU        time.Duration
+	N, M       int
+	N1, N2, N3 int
+	Blocks     int
+	SchurNNZ   int
+	HubRatio   float64
+}
+
+// QueryStats records the cost of one RWR query.
+type QueryStats struct {
+	Duration   time.Duration
+	Iterations int
+	Residual   float64
+}
+
+// Engine is a preprocessed BePI index able to answer RWR queries for any
+// seed node. It is safe for concurrent queries (all query state is local).
+type Engine struct {
+	opts Options
+	n    int
+	ord  *reorder.Ordering
+
+	h12, h21, h31, h32 *sparse.CSR
+	schur              *sparse.CSR
+	h11LU              *lu.BlockLU
+	ilu                *lu.ILU // nil unless VariantFull
+
+	prep PrepStats
+}
+
+// Preprocess runs Algorithm 1/3 on the graph and returns a query-ready
+// engine.
+func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := func() error {
+		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
+			return fmt.Errorf("after %v: %w", time.Since(start).Round(time.Millisecond), ErrDeadline)
+		}
+		return nil
+	}
+
+	e := &Engine{opts: opts, n: g.N()}
+	e.prep.N, e.prep.M = g.N(), g.M()
+	e.prep.HubRatio = opts.HubRatio
+
+	// 1. Node reordering: deadends to the tail, SlashBurn on the rest.
+	t0 := time.Now()
+	e.ord = reorder.HubAndSpoke(g, opts.HubRatio)
+	e.prep.Reorder = time.Since(t0)
+	e.prep.N1, e.prep.N2, e.prep.N3 = e.ord.N1, e.ord.N2, e.ord.N3
+	e.prep.Blocks = len(e.ord.Blocks)
+	if err := deadline(); err != nil {
+		return nil, err
+	}
+
+	// 2. Build the reordered H = I − (1−c)Ãᵀ and partition it.
+	t0 = time.Now()
+	h := BuildH(g, e.ord.Perm, opts.C)
+	n1, n2 := e.ord.N1, e.ord.N2
+	l := n1 + n2
+	h11 := h.Block(0, n1, 0, n1)
+	e.h12 = h.Block(0, n1, n1, l)
+	e.h21 = h.Block(n1, l, 0, n1)
+	h22 := h.Block(n1, l, n1, l)
+	e.h31 = h.Block(l, e.n, 0, n1)
+	e.h32 = h.Block(l, e.n, n1, l)
+	e.prep.BuildH = time.Since(t0)
+	if err := deadline(); err != nil {
+		return nil, err
+	}
+
+	// 3. Per-block LU of the block-diagonal H11.
+	t0 = time.Now()
+	var err error
+	e.h11LU, err = lu.FactorBlockDiag(h11, e.ord.Blocks)
+	if err != nil {
+		return nil, fmt.Errorf("core: factoring H11: %w", err)
+	}
+	e.prep.FactorH11 = time.Since(t0)
+	if opts.MemoryBudget > 0 && e.h11LU.MemoryBytes() > opts.MemoryBudget {
+		return nil, fmt.Errorf("H11 factors need %d bytes: %w", e.h11LU.MemoryBytes(), ErrMemoryBudget)
+	}
+	if err := deadline(); err != nil {
+		return nil, err
+	}
+
+	// 4. Schur complement S = H22 − H21·H11⁻¹·H12.
+	t0 = time.Now()
+	e.schur = SchurComplement(h22, e.h21, e.h12, e.h11LU)
+	e.prep.Schur = time.Since(t0)
+	e.prep.SchurNNZ = e.schur.NNZ()
+	if err := deadline(); err != nil {
+		return nil, err
+	}
+
+	// 5. ILU(0) preconditioner for the full variant.
+	if opts.Variant == VariantFull {
+		t0 = time.Now()
+		e.ilu, err = lu.FactorILU0(e.schur)
+		if err != nil {
+			return nil, fmt.Errorf("core: ILU(0) of S: %w", err)
+		}
+		e.prep.ILU = time.Since(t0)
+	}
+	e.prep.Total = time.Since(start)
+	if opts.MemoryBudget > 0 && e.MemoryBytes() > opts.MemoryBudget {
+		return nil, fmt.Errorf("preprocessed data needs %d bytes: %w", e.MemoryBytes(), ErrMemoryBudget)
+	}
+	return e, nil
+}
+
+// BuildH constructs the reordered system matrix H = P(I − (1−c)Ãᵀ)Pᵀ
+// directly from the graph in O(m): entry (perm[v], perm[u]) receives
+// −(1−c)/outdeg(u) for every edge (u, v), and the diagonal is 1.
+func BuildH(g *graph.Graph, perm []int, c float64) *sparse.CSR {
+	n := g.N()
+	coo := sparse.NewCOO(n, n)
+	coo.Reserve(g.M() + n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	for u := 0; u < n; u++ {
+		deg := g.OutDegree(u)
+		if deg == 0 {
+			continue
+		}
+		w := -(1 - c) / float64(deg)
+		pu := u
+		if perm != nil {
+			pu = perm[u]
+		}
+		for _, v := range g.OutNeighbors(u) {
+			pv := v
+			if perm != nil {
+				pv = perm[v]
+			}
+			coo.Add(pv, pu, w)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// SchurComplement computes S = H22 − H21·H11⁻¹·H12 column by column,
+// exploiting the block-diagonal H11: each H12 column only activates the
+// blocks it touches.
+func SchurComplement(h22, h21, h12 *sparse.CSR, h11LU *lu.BlockLU) *sparse.CSR {
+	n2 := h22.Rows()
+	// Column access to H12 via its transpose; column access to H21 likewise.
+	h12T := h12.Transpose() // n2 × n1: row j = column j of H12
+	h21T := h21.Transpose() // n1 × n2: row i = column i of H21
+	scratch := make([]float64, maxInt(h11LU.MaxBlockSize(), 1))
+
+	// Build Sᵀ row by row (row j of Sᵀ = column j of S), then transpose.
+	acc := make([]float64, n2)
+	mark := make([]int, n2)
+	for i := range mark {
+		mark[i] = -1
+	}
+	coo := sparse.NewCOO(n2, n2)
+	coo.Reserve(h22.NNZ())
+	var touched []int
+	for j := 0; j < n2; j++ {
+		touched = touched[:0]
+		// y = H21 · (H11⁻¹ · H12[:,j]), accumulated sparsely.
+		s, e := h12T.RowRange(j)
+		idx := h12T.ColIdx()[s:e]
+		vals := h12T.Values()[s:e]
+		h11LU.SolveSparse(idx, vals, scratch, func(row int, x float64) {
+			rs, re := h21T.RowRange(row)
+			cols := h21T.ColIdx()[rs:re]
+			vs := h21T.Values()[rs:re]
+			for p, i := range cols {
+				if mark[i] != j {
+					mark[i] = j
+					acc[i] = 0
+					touched = append(touched, i)
+				}
+				acc[i] += vs[p] * x
+			}
+		})
+		// Stage −y into the accumulator; S = H22 + (−H21·H11⁻¹·H12).
+		for _, i := range touched {
+			if acc[i] != 0 {
+				coo.Add(i, j, -acc[i])
+			}
+		}
+	}
+	return h22.Add(coo.ToCSR())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// N returns the number of nodes the engine was built for.
+func (e *Engine) N() int { return e.n }
+
+// Options returns the (defaulted) options the engine was built with.
+func (e *Engine) Options() Options { return e.opts }
+
+// PrepStats returns preprocessing statistics.
+func (e *Engine) PrepStats() PrepStats { return e.prep }
+
+// Ordering exposes the node ordering (for experiments).
+func (e *Engine) Ordering() *reorder.Ordering { return e.ord }
+
+// Schur exposes the Schur complement (for experiments; read-only).
+func (e *Engine) Schur() *sparse.CSR { return e.schur }
+
+// MemoryBytes reports the total footprint of the preprocessed data:
+// the H11 LU factors, the partition blocks H12/H21/H31/H32, the Schur
+// complement, and (for full BePI) its ILU factors. This is the quantity in
+// Figure 1(b) of the paper.
+func (e *Engine) MemoryBytes() int64 {
+	total := e.h11LU.MemoryBytes() +
+		e.h12.MemoryBytes() + e.h21.MemoryBytes() +
+		e.h31.MemoryBytes() + e.h32.MemoryBytes() +
+		e.schur.MemoryBytes()
+	if e.ilu != nil {
+		total += e.ilu.MemoryBytes()
+	}
+	// Permutation arrays.
+	total += int64(2 * e.n * 8)
+	return total
+}
+
+// Preconditioned reports whether the engine applies an ILU preconditioner.
+func (e *Engine) Preconditioned() bool { return e.ilu != nil }
+
+// ILU exposes the ILU(0) factors of S (nil unless VariantFull), for the
+// spectrum experiments.
+func (e *Engine) ILU() *lu.ILU { return e.ilu }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"bepi/internal/dense"
+	"bepi/internal/graph"
+	"bepi/internal/lu"
+	"bepi/internal/reorder"
+	"bepi/internal/sparse"
+)
+
+// ExactDense computes the exact RWR vector r = c·H⁻¹·q by a dense solve.
+// It is the ground truth for accuracy experiments and tests; cost is
+// O(n³), so it is only usable on small graphs.
+func ExactDense(g *graph.Graph, c float64, seed int) ([]float64, error) {
+	n := g.N()
+	if seed < 0 || seed >= n {
+		return nil, fmt.Errorf("core: seed %d out of range [0,%d)", seed, n)
+	}
+	h := BuildH(g, nil, c)
+	hd := dense.New(n, n)
+	col := h.ColIdx()
+	val := h.Values()
+	for i := 0; i < n; i++ {
+		s, e := h.RowRange(i)
+		for p := s; p < e; p++ {
+			hd.Set(i, col[p], val[p])
+		}
+	}
+	b := make([]float64, n)
+	b[seed] = c
+	return hd.Solve(b)
+}
+
+// SchurProfile reports the sizes that govern the hub-ratio trade-off of
+// Figure 4: |S|, |H22| and |H21·H11⁻¹·H12| for a given hub ratio k.
+type SchurProfile struct {
+	K          float64
+	N1, N2, N3 int
+	SchurNNZ   int // |S|
+	H22NNZ     int // |H22|
+	CrossNNZ   int // |H21·H11⁻¹·H12|
+}
+
+// ProfileSchur computes the Schur complement for hub ratio k and returns
+// the non-zero counts the paper plots in Figure 4. It shares all machinery
+// with Preprocess but skips the ILU step.
+func ProfileSchur(g *graph.Graph, k, c float64) (SchurProfile, error) {
+	ord := reorder.HubAndSpoke(g, k)
+	h := BuildH(g, ord.Perm, c)
+	n1, n2 := ord.N1, ord.N2
+	l := n1 + n2
+	h11 := h.Block(0, n1, 0, n1)
+	h12 := h.Block(0, n1, n1, l)
+	h21 := h.Block(n1, l, 0, n1)
+	h22 := h.Block(n1, l, n1, l)
+	h11LU, err := lu.FactorBlockDiag(h11, ord.Blocks)
+	if err != nil {
+		return SchurProfile{}, fmt.Errorf("core: factoring H11 at k=%v: %w", k, err)
+	}
+	s := SchurComplement(h22, h21, h12, h11LU)
+	cross := s.Sub(h22).DropZeros(0)
+	return SchurProfile{
+		K:  k,
+		N1: n1, N2: n2, N3: ord.N3,
+		SchurNNZ: s.NNZ(),
+		H22NNZ:   h22.NNZ(),
+		CrossNNZ: cross.NNZ(),
+	}, nil
+}
+
+// ChooseHubRatio evaluates the candidate hub ratios and returns the one
+// minimizing |S| (the BePI-S / BePI selection rule of Algorithm 1 line 2),
+// along with the profiles measured. With no candidates it defaults to the
+// paper's sweep {0.1, 0.2, 0.3, 0.4, 0.5}.
+func ChooseHubRatio(g *graph.Graph, candidates []float64, c float64) (float64, []SchurProfile, error) {
+	if len(candidates) == 0 {
+		candidates = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	best := candidates[0]
+	bestNNZ := -1
+	profiles := make([]SchurProfile, 0, len(candidates))
+	for _, k := range candidates {
+		p, err := ProfileSchur(g, k, c)
+		if err != nil {
+			return 0, nil, err
+		}
+		profiles = append(profiles, p)
+		if bestNNZ < 0 || p.SchurNNZ < bestNNZ {
+			bestNNZ = p.SchurNNZ
+			best = k
+		}
+	}
+	return best, profiles, nil
+}
+
+// RowNormalizedAdjacencyT returns Ãᵀ for the graph, the operator power
+// iteration multiplies by.
+func RowNormalizedAdjacencyT(g *graph.Graph) *sparse.CSR {
+	return g.Adjacency().RowNormalize().Transpose()
+}

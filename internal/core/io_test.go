@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bepi/internal/gen"
+	"bepi/internal/vec"
+)
+
+func TestEngineSerializationRoundTrip(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 21))
+	for _, v := range []Variant{VariantB, VariantS, VariantFull} {
+		orig, err := Preprocess(g, Options{Variant: v, HubRatio: 0.2, Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			t.Fatalf("%v: WriteTo: %v", v, err)
+		}
+		back, err := ReadEngine(&buf)
+		if err != nil {
+			t.Fatalf("%v: ReadEngine: %v", v, err)
+		}
+		if back.N() != orig.N() {
+			t.Fatalf("%v: n = %d want %d", v, back.N(), orig.N())
+		}
+		if back.Preconditioned() != (v == VariantFull) {
+			t.Fatalf("%v: preconditioner state lost", v)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 3; trial++ {
+			seed := rng.Intn(g.N())
+			want, _, err := orig.Query(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := back.Query(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := vec.Dist2(got, want); d > 1e-12 {
+				t.Fatalf("%v seed %d: reloaded engine differs by %v", v, seed, d)
+			}
+		}
+	}
+}
+
+func TestReadEngineRejectsGarbage(t *testing.T) {
+	if _, err := ReadEngine(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadEngine(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}
+
+func TestReadEngineRejectsTruncated(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 5, 22))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{10, len(raw) / 2, len(raw) - 5} {
+		if _, err := ReadEngine(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("expected error for stream cut at %d", cut)
+		}
+	}
+}

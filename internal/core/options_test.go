@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bepi/internal/gen"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.C != DefaultC || o.Tol != DefaultTol {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Variant != VariantFull {
+		t.Fatalf("zero-value variant must be full BePI, got %v", o.Variant)
+	}
+	if o.HubRatio != 0.2 {
+		t.Fatalf("full-variant hub ratio default %v", o.HubRatio)
+	}
+	if o.MaxIter != 1000 {
+		t.Fatalf("MaxIter default %d", o.MaxIter)
+	}
+
+	b := Options{Variant: VariantB}.withDefaults()
+	if b.HubRatio != 0.001 {
+		t.Fatalf("BePI-B hub ratio default %v", b.HubRatio)
+	}
+
+	// Out-of-range values are replaced, explicit valid values kept.
+	c := Options{C: 1.5, Tol: -1, HubRatio: 0.33, MaxIter: 7}.withDefaults()
+	if c.C != DefaultC || c.Tol != DefaultTol || c.HubRatio != 0.33 || c.MaxIter != 7 {
+		t.Fatalf("mixed defaults: %+v", c)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	cases := map[Variant]string{
+		VariantFull: "BePI",
+		VariantB:    "BePI-B",
+		VariantS:    "BePI-S",
+		Variant(99): "Variant(99)",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestSchurSolverString(t *testing.T) {
+	if SolverGMRES.String() != "GMRES" || SolverBiCGSTAB.String() != "BiCGSTAB" {
+		t.Fatal("solver names wrong")
+	}
+}
+
+func TestDeadlineHelper(t *testing.T) {
+	// A generous deadline must not trigger.
+	g := gen.Figure2()
+	if _, err := Preprocess(g, Options{Deadline: time.Hour}); err != nil {
+		t.Fatalf("hour deadline should pass: %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bepi/internal/solver"
+	"bepi/internal/vec"
+)
+
+// Query computes the RWR score vector for the given seed node
+// (Algorithm 2/4). The returned vector is indexed by the original node ids.
+func (e *Engine) Query(seed int) ([]float64, QueryStats, error) {
+	if seed < 0 || seed >= e.n {
+		return nil, QueryStats{}, fmt.Errorf("core: seed %d out of range [0,%d)", seed, e.n)
+	}
+	q := make([]float64, e.n)
+	q[seed] = 1
+	return e.QueryVector(q)
+}
+
+// QueryVector computes the personalized PageRank vector for an arbitrary
+// starting distribution q (indexed by original node ids). RWR is the
+// special case of a single-entry q; multi-seed q gives PPR, which the
+// block-elimination machinery supports unchanged.
+func (e *Engine) QueryVector(q []float64) ([]float64, QueryStats, error) {
+	if len(q) != e.n {
+		return nil, QueryStats{}, fmt.Errorf("core: query vector length %d want %d", len(q), e.n)
+	}
+	start := time.Now()
+	n1, n2 := e.ord.N1, e.ord.N2
+	l := n1 + n2
+	c := e.opts.C
+
+	// Permute q into the reordered space and split into q1, q2, q3.
+	qp := make([]float64, e.n)
+	for old, v := range q {
+		if v != 0 {
+			qp[e.ord.Perm[old]] = v
+		}
+	}
+	q1 := qp[:n1]
+	q2 := qp[n1:l]
+	q3 := qp[l:]
+
+	// q̃2 = c·q2 − H21·(H11⁻¹·(c·q1))   (Algorithm 4, line 3)
+	t1 := make([]float64, n1)
+	for i, v := range q1 {
+		t1[i] = c * v
+	}
+	e.h11LU.Solve(t1)
+	qt2 := make([]float64, n2)
+	e.h21.MulVec(qt2, t1)
+	for i := range qt2 {
+		qt2[i] = c*q2[i] - qt2[i]
+	}
+
+	// Solve S·r2 = q̃2 with the (preconditioned) iterative solver (line 4).
+	r2, stats, err := e.solveSchur(qt2, nil)
+	if err != nil {
+		return nil, QueryStats{Duration: time.Since(start), Iterations: stats.Iterations, Residual: stats.Residual},
+			fmt.Errorf("core: solving Schur system: %w", err)
+	}
+
+	// r1 = H11⁻¹·(c·q1 − H12·r2)   (line 5)
+	r1 := make([]float64, n1)
+	e.h12.MulVec(r1, r2)
+	for i := range r1 {
+		r1[i] = c*q1[i] - r1[i]
+	}
+	e.h11LU.Solve(r1)
+
+	// r3 = c·q3 − H31·r1 − H32·r2   (line 6)
+	r3 := make([]float64, e.n-l)
+	e.h31.MulVec(r3, r1)
+	tmp := make([]float64, e.n-l)
+	e.h32.MulVec(tmp, r2)
+	for i := range r3 {
+		r3[i] = c*q3[i] - r3[i] - tmp[i]
+	}
+
+	// Concatenate and un-permute back to original ids (line 7).
+	r := make([]float64, e.n)
+	for old := 0; old < e.n; old++ {
+		nw := e.ord.Perm[old]
+		switch {
+		case nw < n1:
+			r[old] = r1[nw]
+		case nw < l:
+			r[old] = r2[nw-n1]
+		default:
+			r[old] = r3[nw-l]
+		}
+	}
+	return r, QueryStats{
+		Duration:   time.Since(start),
+		Iterations: stats.Iterations,
+		Residual:   stats.Residual,
+	}, nil
+}
+
+// solveSchur runs the configured iterative solver on S·r2 = q̃2.
+func (e *Engine) solveSchur(qt2 []float64, cb func(int, []float64)) ([]float64, solver.Stats, error) {
+	opts := solver.GMRESOptions{
+		Tol:      e.opts.Tol,
+		MaxIter:  e.opts.MaxIter,
+		Restart:  e.opts.GMRESRestart,
+		Callback: cb,
+	}
+	if e.ilu != nil {
+		opts.Precond = e.ilu
+	}
+	if e.opts.Solver == SolverBiCGSTAB {
+		return solver.BiCGSTAB(e.schur, qt2, opts)
+	}
+	return solver.GMRES(e.schur, qt2, opts)
+}
+
+// QueryWithCallback runs a query invoking cb with the fully assembled RWR
+// vector (original ids) after every GMRES iteration on the Schur system.
+// It exists for the Appendix-I accuracy-vs-iterations experiment; regular
+// callers should use Query.
+func (e *Engine) QueryWithCallback(seed int, cb func(iter int, r []float64)) ([]float64, QueryStats, error) {
+	if seed < 0 || seed >= e.n {
+		return nil, QueryStats{}, fmt.Errorf("core: seed %d out of range [0,%d)", seed, e.n)
+	}
+	n1, n2 := e.ord.N1, e.ord.N2
+	l := n1 + n2
+	c := e.opts.C
+	qp := make([]float64, e.n)
+	qp[e.ord.Perm[seed]] = 1
+	q1 := qp[:n1]
+	q2 := qp[n1:l]
+	q3 := qp[l:]
+
+	t1 := make([]float64, n1)
+	for i, v := range q1 {
+		t1[i] = c * v
+	}
+	e.h11LU.Solve(t1)
+	qt2 := make([]float64, n2)
+	e.h21.MulVec(qt2, t1)
+	for i := range qt2 {
+		qt2[i] = c*q2[i] - qt2[i]
+	}
+
+	assemble := func(r2 []float64) []float64 {
+		r1 := make([]float64, n1)
+		e.h12.MulVec(r1, r2)
+		for i := range r1 {
+			r1[i] = c*q1[i] - r1[i]
+		}
+		e.h11LU.Solve(r1)
+		r3 := make([]float64, e.n-l)
+		e.h31.MulVec(r3, r1)
+		tmp := make([]float64, e.n-l)
+		e.h32.MulVec(tmp, r2)
+		for i := range r3 {
+			r3[i] = c*q3[i] - r3[i] - tmp[i]
+		}
+		r := make([]float64, e.n)
+		for old := 0; old < e.n; old++ {
+			nw := e.ord.Perm[old]
+			switch {
+			case nw < n1:
+				r[old] = r1[nw]
+			case nw < l:
+				r[old] = r2[nw-n1]
+			default:
+				r[old] = r3[nw-l]
+			}
+		}
+		return r
+	}
+
+	start := time.Now()
+	var solveCB func(int, []float64)
+	if cb != nil {
+		solveCB = func(iter int, r2 []float64) { cb(iter, assemble(r2)) }
+	}
+	r2, stats, err := e.solveSchur(qt2, solveCB)
+	if err != nil {
+		return nil, QueryStats{Duration: time.Since(start)}, fmt.Errorf("core: solving Schur system: %w", err)
+	}
+	r := assemble(r2)
+	if vec.Norm2(r) == 0 && vec.Norm2(qp) != 0 && e.n > 0 {
+		// Defensive: a zero result for a nonzero query indicates a bug.
+		return nil, QueryStats{}, fmt.Errorf("core: zero RWR vector for nonzero query")
+	}
+	return r, QueryStats{Duration: time.Since(start), Iterations: stats.Iterations, Residual: stats.Residual}, nil
+}
+
+// TopK returns the k highest-scoring nodes for the seed, excluding the seed
+// itself, as (node, score) pairs in descending score order.
+func (e *Engine) TopK(seed, k int) ([]Ranked, error) {
+	r, _, err := e.Query(seed)
+	if err != nil {
+		return nil, err
+	}
+	return RankTopK(r, k, seed), nil
+}
+
+// Ranked is a node with its RWR score.
+type Ranked struct {
+	Node  int
+	Score float64
+}
+
+// RankTopK returns the k nodes with the highest scores, excluding `exclude`
+// (pass a negative value to exclude nothing). Ties break on lower node id.
+func RankTopK(scores []float64, k int, exclude int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	// Simple selection: maintain a sorted slice of ≤ k entries (k is small
+	// in practice; avoids pulling in container/heap for clarity).
+	out := make([]Ranked, 0, k+1)
+	for node, s := range scores {
+		if node == exclude {
+			continue
+		}
+		pos := len(out)
+		for pos > 0 && (out[pos-1].Score < s || (out[pos-1].Score == s && out[pos-1].Node > node)) {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		out = append(out, Ranked{})
+		copy(out[pos+1:], out[pos:])
+		out[pos] = Ranked{Node: node, Score: s}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bepi/internal/dense"
+	"bepi/internal/lu"
+	"bepi/internal/reorder"
+)
+
+// TestSchurComplementMatchesDense verifies the sparse, block-exploiting
+// Schur construction against a dense S = H22 − H21·H11⁻¹·H12 computed with
+// explicit inversion.
+func TestSchurComplementMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(60)
+		g := randGraph(rng, n)
+		ord := reorder.HubAndSpoke(g, 0.15+0.3*rng.Float64())
+		if ord.N1 == 0 || ord.N2 == 0 {
+			continue
+		}
+		h := BuildH(g, ord.Perm, DefaultC)
+		n1, n2 := ord.N1, ord.N2
+		l := n1 + n2
+		h11 := h.Block(0, n1, 0, n1)
+		h12 := h.Block(0, n1, n1, l)
+		h21 := h.Block(n1, l, 0, n1)
+		h22 := h.Block(n1, l, n1, l)
+		f, err := lu.FactorBlockDiag(h11, ord.Blocks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := SchurComplement(h22, h21, h12, f)
+
+		// Dense reference.
+		d11 := dense.New(n1, n1)
+		for i, row := range h11.ToDense() {
+			copy(d11.Row(i), row)
+		}
+		inv, err := d11.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d12 := dense.New(n1, n2)
+		for i, row := range h12.ToDense() {
+			copy(d12.Row(i), row)
+		}
+		d21 := dense.New(n2, n1)
+		for i, row := range h21.ToDense() {
+			copy(d21.Row(i), row)
+		}
+		cross := d21.Mul(inv).Mul(d12)
+		want := h22.ToDense()
+		for i := 0; i < n2; i++ {
+			for j := 0; j < n2; j++ {
+				w := want[i][j] - cross.At(i, j)
+				if math.Abs(got.At(i, j)-w) > 1e-9 {
+					t.Fatalf("trial %d: S[%d][%d] = %v, want %v", trial, i, j, got.At(i, j), w)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildHPermIdentity checks that a nil perm and an identity perm build
+// the same matrix.
+func TestBuildHPermIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := randGraph(rng, 50)
+	id := make([]int, g.N())
+	for i := range id {
+		id[i] = i
+	}
+	a := BuildH(g, nil, DefaultC)
+	b := BuildH(g, id, DefaultC)
+	if !a.Equal(b) {
+		t.Fatal("identity perm changed H")
+	}
+}
+
+// TestBuildHDeadendColumns checks the structural fact behind the deadend
+// reordering: the column of H for a deadend node is exactly e_j.
+func TestBuildHDeadendColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := randGraph(rng, 60)
+	h := BuildH(g, nil, DefaultC)
+	ht := h.Transpose()
+	for _, u := range g.Deadends() {
+		s, e := ht.RowRange(u)
+		if e-s != 1 || ht.ColIdx()[s] != u || ht.Values()[s] != 1 {
+			t.Fatalf("deadend %d column is not e_%d", u, u)
+		}
+	}
+}

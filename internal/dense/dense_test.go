@@ -1,0 +1,219 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randDiagDominant returns a random strictly diagonally dominant matrix,
+// the class pivot-free LU is guaranteed stable on.
+func randDiagDominant(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			off += math.Abs(v)
+		}
+		m.Set(i, i, off+1+rng.Float64())
+	}
+	return m
+}
+
+func TestIdentityAndAt(t *testing.T) {
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("identity wrong")
+	}
+	id.Set(0, 1, 7)
+	if id.At(0, 1) != 7 {
+		t.Fatal("Set/At wrong")
+	}
+}
+
+func TestFromRowsAndRow(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.R != 2 || m.C != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong")
+	}
+	r := m.Row(1)
+	r[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if c.MaxAbsDiff(want) != 0 {
+		t.Fatalf("Mul = %+v", c)
+	}
+	y := make([]float64, 2)
+	a.MulVec(y, []float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.R != 3 || at.C != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("Transpose wrong")
+	}
+	if a.Transpose().Transpose().MaxAbsDiff(a) != 0 {
+		t.Fatal("double transpose changed matrix")
+	}
+}
+
+func TestLUReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		a := randDiagDominant(rng, n)
+		lu := a.Clone()
+		if err := lu.LU(); err != nil {
+			t.Fatalf("LU: %v", err)
+		}
+		// Rebuild L·U and compare with A.
+		prod := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				// L[i][k] for k<i, 1 at k=i; U[k][j] for k<=j.
+				kmax := i
+				if j < i {
+					kmax = j
+				}
+				for k := 0; k <= kmax; k++ {
+					var l float64
+					if k < i {
+						l = lu.At(i, k)
+					} else {
+						l = 1
+					}
+					if k <= j {
+						s += l * lu.At(k, j)
+					}
+				}
+				prod.Set(i, j, s)
+			}
+		}
+		if d := prod.MaxAbsDiff(a); d > 1e-9 {
+			t.Fatalf("trial %d: ‖LU−A‖∞ = %v", trial, d)
+		}
+	}
+}
+
+func TestSolveMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		a := randDiagDominant(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		x, err := a.Solve(b)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randDiagDominant(rng, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse: %v", err)
+		}
+		prod := a.Mul(inv)
+		if d := prod.MaxAbsDiff(Identity(n)); d > 1e-8 {
+			t.Fatalf("trial %d: ‖A·A⁻¹−I‖∞ = %v", trial, d)
+		}
+	}
+}
+
+func TestLUSolveTMatchesTransposeSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(20)
+		a := randDiagDominant(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.Transpose().MulVec(b, xTrue)
+		lu := a.Clone()
+		if err := lu.LU(); err != nil {
+			t.Fatal(err)
+		}
+		lu.LUSolveT(b)
+		for i := range b {
+			if math.Abs(b[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: LUSolveT[%d] = %v want %v", trial, i, b[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUZeroPivot(t *testing.T) {
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	if err := a.LU(); err == nil {
+		t.Fatal("expected zero-pivot error")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	if New(3, 4).MemoryBytes() != 96 {
+		t.Fatal("MemoryBytes wrong")
+	}
+}
+
+// Property: Solve(A, A·x) == x for diagonally dominant A.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		a := randDiagDominant(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, x)
+		got, err := a.Solve(b)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-x[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package eig
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bepi/internal/lu"
+	"bepi/internal/sparse"
+)
+
+func toHess(rows [][]float64) [][]complex128 {
+	h := make([][]complex128, len(rows))
+	for i, r := range rows {
+		h[i] = make([]complex128, len(r))
+		for j, v := range r {
+			h[i][j] = complex(v, 0)
+		}
+	}
+	return h
+}
+
+func sortByAbs(e []complex128) {
+	sort.Slice(e, func(i, j int) bool { return cmplx.Abs(e[i]) > cmplx.Abs(e[j]) })
+}
+
+func TestHessenbergEigenDiagonal(t *testing.T) {
+	h := toHess([][]float64{{3, 1, 0}, {0, -2, 5}, {0, 0, 7}})
+	eigs := HessenbergEigenvalues(h)
+	sortByAbs(eigs)
+	want := []float64{7, 3, -2}
+	for i, w := range want {
+		if cmplx.Abs(eigs[i]-complex(w, 0)) > 1e-10 {
+			t.Fatalf("eig[%d] = %v, want %v", i, eigs[i], w)
+		}
+	}
+}
+
+func TestHessenbergEigenRotation(t *testing.T) {
+	// [[0, -1], [1, 0]] has eigenvalues ±i.
+	eigs := HessenbergEigenvalues(toHess([][]float64{{0, -1}, {1, 0}}))
+	if len(eigs) != 2 {
+		t.Fatalf("got %d eigenvalues", len(eigs))
+	}
+	for _, e := range eigs {
+		if math.Abs(real(e)) > 1e-10 || math.Abs(math.Abs(imag(e))-1) > 1e-10 {
+			t.Fatalf("eigenvalue %v, want ±i", e)
+		}
+	}
+	if imag(eigs[0])*imag(eigs[1]) > 0 {
+		t.Fatal("expected a conjugate pair")
+	}
+}
+
+func TestHessenbergEigenKnown3x3(t *testing.T) {
+	// Companion matrix of x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+	h := toHess([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	eigs := HessenbergEigenvalues(h)
+	sortByAbs(eigs)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if cmplx.Abs(eigs[i]-complex(w, 0)) > 1e-8 {
+			t.Fatalf("eig[%d] = %v, want %v", i, eigs[i], w)
+		}
+	}
+}
+
+func TestHessenbergEigenTridiagonalKnownSpectrum(t *testing.T) {
+	// The n×n tridiagonal (2, -1) matrix has eigenvalues
+	// 2 − 2cos(kπ/(n+1)), k = 1..n.
+	n := 12
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][i] = 2
+		if i > 0 {
+			rows[i][i-1] = -1
+		}
+		if i < n-1 {
+			rows[i][i+1] = -1
+		}
+	}
+	eigs := HessenbergEigenvalues(toHess(rows))
+	got := make([]float64, n)
+	for i, e := range eigs {
+		if math.Abs(imag(e)) > 1e-9 {
+			t.Fatalf("unexpected complex eigenvalue %v", e)
+		}
+		got[i] = real(e)
+	}
+	sort.Float64s(got)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(got[k-1]-want) > 1e-8 {
+			t.Fatalf("eig %d = %v, want %v", k, got[k-1], want)
+		}
+	}
+}
+
+func TestArnoldiFullDimensionExact(t *testing.T) {
+	// With m = n, the Ritz values are the exact eigenvalues.
+	rng := rand.New(rand.NewSource(1))
+	n := 10
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1 + rng.Float64()*9
+	}
+	a := sparse.Diagonal(d)
+	ritz := RitzValues(a, nil, n, n, 7)
+	if len(ritz) != n {
+		t.Fatalf("got %d ritz values", len(ritz))
+	}
+	sort.Float64s(d)
+	got := make([]float64, n)
+	for i, e := range ritz {
+		got[i] = real(e)
+	}
+	sort.Float64s(got)
+	for i := range d {
+		if math.Abs(got[i]-d[i]) > 1e-7 {
+			t.Fatalf("ritz[%d] = %v, want %v", i, got[i], d[i])
+		}
+	}
+}
+
+func TestRitzTopEigenvalueOfDiagonal(t *testing.T) {
+	// Arnoldi with m << n should still capture the extreme eigenvalue well.
+	n := 400
+	d := make([]float64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range d {
+		d[i] = rng.Float64()
+	}
+	d[123] = 25 // dominant outlier
+	a := sparse.Diagonal(d)
+	ritz := RitzValues(a, nil, n, 30, 3)
+	if len(ritz) == 0 {
+		t.Fatal("no ritz values")
+	}
+	if math.Abs(real(ritz[0])-25) > 1e-6 {
+		t.Fatalf("top ritz %v, want 25", ritz[0])
+	}
+}
+
+func TestPreconditioningTightensSpectrum(t *testing.T) {
+	// The Figure 7 effect: ILU(0)-preconditioned operators have Ritz values
+	// clustered near 1 with far smaller dispersion.
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	coo := sparse.NewCOO(n, n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 6; d++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64() * 0.3
+			coo.Add(i, j, v)
+			rowAbs[i] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, rowAbs[i]+1+3*rng.Float64())
+	}
+	s := coo.ToCSR()
+	plain := RitzValues(s, nil, n, 60, 11)
+	pre, err := lu.FactorILU0(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := RitzValues(s, pre, n, 60, 11)
+	_, dPlain := Dispersion(plain)
+	_, dCond := Dispersion(cond)
+	if dCond >= dPlain {
+		t.Fatalf("preconditioned dispersion %v >= plain %v", dCond, dPlain)
+	}
+}
+
+func TestDispersionKnownValues(t *testing.T) {
+	// {1, -1}: centroid 0, RMS distance 1.
+	c, r := Dispersion([]complex128{1, -1})
+	if cmplx.Abs(c) > 1e-15 || math.Abs(r-1) > 1e-15 {
+		t.Fatalf("centroid %v rms %v", c, r)
+	}
+	// Identical points: zero dispersion.
+	c, r = Dispersion([]complex128{2 + 3i, 2 + 3i, 2 + 3i})
+	if cmplx.Abs(c-(2+3i)) > 1e-15 || r != 0 {
+		t.Fatalf("centroid %v rms %v", c, r)
+	}
+	// {i, -i}: centroid 0, RMS 1.
+	c, r = Dispersion([]complex128{1i, -1i})
+	if cmplx.Abs(c) > 1e-15 || math.Abs(r-1) > 1e-15 {
+		t.Fatalf("centroid %v rms %v", c, r)
+	}
+}
+
+func TestGivensCProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		b := complex(rng.NormFloat64(), rng.NormFloat64())
+		switch trial % 5 {
+		case 1:
+			a = 0
+		case 2:
+			b = 0
+		}
+		c, s := givensC(a, b)
+		// Unitarity: c² + |s|² = 1.
+		if math.Abs(c*c+real(s*cmplx.Conj(s))-1) > 1e-12 {
+			t.Fatalf("trial %d: not unitary", trial)
+		}
+		// Annihilation: −conj(s)·a + c·b = 0.
+		z := -cmplx.Conj(s)*a + complex(c, 0)*b
+		if cmplx.Abs(z) > 1e-12*(cmplx.Abs(a)+cmplx.Abs(b)+1e-300) {
+			t.Fatalf("trial %d: residual %v", trial, z)
+		}
+		// Norm preservation: |c·a + s·b| = √(|a|²+|b|²).
+		r := complex(c, 0)*a + s*b
+		want := math.Hypot(cmplx.Abs(a), cmplx.Abs(b))
+		if math.Abs(cmplx.Abs(r)-want) > 1e-12*(want+1e-300) {
+			t.Fatalf("trial %d: |r| = %v want %v", trial, cmplx.Abs(r), want)
+		}
+	}
+}
+
+func TestDispersionEmpty(t *testing.T) {
+	c, r := Dispersion(nil)
+	if c != 0 || r != 0 {
+		t.Fatal("empty dispersion should be zero")
+	}
+}
+
+func TestArnoldiEmptyAndTiny(t *testing.T) {
+	if h := Arnoldi(sparse.Identity(0), nil, 0, 10, 1); h != nil {
+		t.Fatal("expected nil for empty operator")
+	}
+	h := Arnoldi(sparse.Identity(3), nil, 3, 10, 1)
+	// Identity causes immediate breakdown after one step.
+	if len(h) != 1 || cmplx.Abs(h[0][0]-1) > 1e-12 {
+		t.Fatalf("identity Arnoldi = %v", h)
+	}
+}

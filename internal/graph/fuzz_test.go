@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that accepted
+// graphs round-trip through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n\n3\t4\n")
+	f.Add("a b\n")
+	f.Add("-1 0\n")
+	f.Add("99999999999999999999 0\n")
+	f.Add("0 1 extra fields are fine\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() < 0 || g.M() < 0 {
+			t.Fatal("negative sizes accepted")
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if back.M() != g.M() {
+			t.Fatalf("round trip changed edges: %d vs %d", back.M(), g.M())
+		}
+	})
+}

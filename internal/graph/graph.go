@@ -1,0 +1,295 @@
+// Package graph provides the directed-graph representation used by the BePI
+// reproduction: construction from edge lists, adjacency in CSR form, degree
+// and deadend accounting, undirected connected components, and subgraph
+// extraction for the scalability experiments.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"bepi/internal/sparse"
+)
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src, Dst int
+}
+
+// Graph is an immutable directed graph over nodes 0..N-1 with out-adjacency
+// stored in CSR layout. Parallel edges are collapsed and self-loops kept.
+type Graph struct {
+	n      int
+	outPtr []int // len n+1
+	outAdj []int // concatenated sorted out-neighbor lists
+	inDeg  []int
+}
+
+// New builds a graph with n nodes from the given edges. Edges referencing
+// nodes outside [0, n) cause an error. Duplicate edges are collapsed.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	for _, e := range edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range n=%d", e.Src, e.Dst, n)
+		}
+	}
+	outPtr := make([]int, n+1)
+	for _, e := range edges {
+		outPtr[e.Src+1]++
+	}
+	for i := 0; i < n; i++ {
+		outPtr[i+1] += outPtr[i]
+	}
+	adj := make([]int, len(edges))
+	next := make([]int, n)
+	copy(next, outPtr[:n])
+	for _, e := range edges {
+		adj[next[e.Src]] = e.Dst
+		next[e.Src]++
+	}
+	// Sort and dedupe each neighbor list.
+	out := 0
+	newPtr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		lst := adj[outPtr[i]:outPtr[i+1]]
+		sort.Ints(lst)
+		start := out
+		for _, v := range lst {
+			if out > start && adj[out-1] == v {
+				continue
+			}
+			adj[out] = v
+			out++
+		}
+		newPtr[i+1] = out
+	}
+	adj = adj[:out]
+	inDeg := make([]int, n)
+	for _, v := range adj {
+		inDeg[v]++
+	}
+	return &Graph{n: n, outPtr: newPtr, outAdj: adj, inDeg: inDeg}, nil
+}
+
+// MustNew is New but panics on error; for tests and generators that
+// construct edges they know are valid.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (deduplicated) directed edges.
+func (g *Graph) M() int { return len(g.outAdj) }
+
+// OutNeighbors returns the sorted out-neighbor list of node u (shared
+// storage; do not mutate).
+func (g *Graph) OutNeighbors(u int) []int { return g.outAdj[g.outPtr[u]:g.outPtr[u+1]] }
+
+// OutDegree returns the out-degree of node u.
+func (g *Graph) OutDegree(u int) int { return g.outPtr[u+1] - g.outPtr[u] }
+
+// InDegree returns the in-degree of node u.
+func (g *Graph) InDegree(u int) int { return g.inDeg[u] }
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	lst := g.OutNeighbors(u)
+	p := sort.SearchInts(lst, v)
+	return p < len(lst) && lst[p] == v
+}
+
+// Edges returns all edges in (src, dst) order.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	return edges
+}
+
+// Deadends returns the sorted list of nodes with no out-edges.
+func (g *Graph) Deadends() []int {
+	var d []int
+	for u := 0; u < g.n; u++ {
+		if g.OutDegree(u) == 0 {
+			d = append(d, u)
+		}
+	}
+	return d
+}
+
+// Adjacency returns the n×n adjacency matrix A with A[u][v] = 1 for each
+// edge (u, v).
+func (g *Graph) Adjacency() *sparse.CSR {
+	rowPtr := make([]int, g.n+1)
+	copy(rowPtr, g.outPtr)
+	col := make([]int, len(g.outAdj))
+	copy(col, g.outAdj)
+	val := make([]float64, len(col))
+	for i := range val {
+		val[i] = 1
+	}
+	return sparse.NewCSR(g.n, g.n, rowPtr, col, val)
+}
+
+// UndirectedComponents treats edges as undirected and returns the component
+// id of every node plus the component sizes. Component ids are assigned in
+// discovery (BFS from node 0 upward) order.
+func (g *Graph) UndirectedComponents() (compOf []int, sizes []int) {
+	und := g.undirectedAdj()
+	compOf = make([]int, g.n)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	var queue []int
+	for s := 0; s < g.n; s++ {
+		if compOf[s] >= 0 {
+			continue
+		}
+		id := len(sizes)
+		size := 0
+		queue = append(queue[:0], s)
+		compOf[s] = id
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			size++
+			for _, v := range und.neighbors(u) {
+				if compOf[v] < 0 {
+					compOf[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return compOf, sizes
+}
+
+// undirected is a symmetric adjacency built once for BFS traversals.
+type undirected struct {
+	ptr []int
+	adj []int
+}
+
+func (u *undirected) neighbors(v int) []int { return u.adj[u.ptr[v]:u.ptr[v+1]] }
+
+func (g *Graph) undirectedAdj() *undirected {
+	deg := make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			deg[u]++
+			if v != u {
+				deg[v]++
+			}
+		}
+	}
+	ptr := make([]int, g.n+1)
+	for i := 0; i < g.n; i++ {
+		ptr[i+1] = ptr[i] + deg[i]
+	}
+	adj := make([]int, ptr[g.n])
+	next := make([]int, g.n)
+	copy(next, ptr[:g.n])
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			adj[next[u]] = v
+			next[u]++
+			if v != u {
+				adj[next[v]] = u
+				next[v]++
+			}
+		}
+	}
+	return &undirected{ptr: ptr, adj: adj}
+}
+
+// EdgePrefix returns the subgraph induced by the first m edges in (src, dst)
+// lexicographic order, over the same node set. This mirrors the paper's
+// scalability protocol of taking principal submatrices with a target edge
+// count (§4.4).
+func (g *Graph) EdgePrefix(m int) *Graph {
+	if m < 0 || m > g.M() {
+		panic(fmt.Sprintf("graph: EdgePrefix %d out of range [0,%d]", m, g.M()))
+	}
+	edges := g.Edges()[:m]
+	// Restrict to the principal submatrix: keep only nodes < maxNode+1 where
+	// maxNode is the largest endpoint referenced, matching the paper's
+	// "upper left part of the adjacency matrix" protocol.
+	maxNode := -1
+	for _, e := range edges {
+		if e.Src > maxNode {
+			maxNode = e.Src
+		}
+		if e.Dst > maxNode {
+			maxNode = e.Dst
+		}
+	}
+	return MustNew(maxNode+1, edges)
+}
+
+// NodePrefix returns the principal subgraph on nodes [0, x): the upper-left
+// part of the adjacency matrix, the paper's scalability protocol (§4.4).
+func (g *Graph) NodePrefix(x int) *Graph {
+	if x < 0 || x > g.n {
+		panic(fmt.Sprintf("graph: NodePrefix %d out of range [0,%d]", x, g.n))
+	}
+	var edges []Edge
+	for u := 0; u < x; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if v < x {
+				edges = append(edges, Edge{u, v})
+			}
+		}
+	}
+	return MustNew(x, edges)
+}
+
+// InducedSubgraph returns the subgraph on the given nodes (relabelled
+// 0..len(nodes)-1 in the given order) keeping only edges with both endpoints
+// in the set.
+func (g *Graph) InducedSubgraph(nodes []int) *Graph {
+	newID := make(map[int]int, len(nodes))
+	for i, u := range nodes {
+		newID[u] = i
+	}
+	var edges []Edge
+	for _, u := range nodes {
+		for _, v := range g.OutNeighbors(u) {
+			if j, ok := newID[v]; ok {
+				edges = append(edges, Edge{newID[u], j})
+			}
+		}
+	}
+	return MustNew(len(nodes), edges)
+}
+
+// Relabel returns a graph in which old node i becomes perm[i].
+func (g *Graph) Relabel(perm []int) *Graph {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: perm length %d want %d", len(perm), g.n))
+	}
+	edges := make([]Edge, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			edges = append(edges, Edge{perm[u], perm[v]})
+		}
+	}
+	return MustNew(g.n, edges)
+}
+
+// String returns a short description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{n=%d, m=%d, deadends=%d}", g.n, g.M(), len(g.Deadends()))
+}

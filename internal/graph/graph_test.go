@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New(6, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 4},
+		{0, 1}, // duplicate, must collapse
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewBasics(t *testing.T) {
+	g := testGraph(t)
+	if g.N() != 6 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() != 5 {
+		t.Fatalf("M = %d (duplicate not collapsed?)", g.M())
+	}
+	if got := g.OutNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("OutNeighbors(0) = %v", got)
+	}
+	if g.OutDegree(5) != 0 || g.InDegree(2) != 2 {
+		t.Fatal("degree accounting wrong")
+	}
+	if !g.HasEdge(2, 0) || g.HasEdge(0, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New(2, []Edge{{0, 2}}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Fatal("expected error for negative n")
+	}
+}
+
+func TestDeadends(t *testing.T) {
+	g := testGraph(t)
+	d := g.Deadends()
+	if len(d) != 2 || d[0] != 4 || d[1] != 5 {
+		t.Fatalf("Deadends = %v", d)
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := testGraph(t)
+	a := g.Adjacency()
+	if a.Rows() != 6 || a.NNZ() != 5 {
+		t.Fatalf("adjacency %v", a)
+	}
+	if a.At(0, 1) != 1 || a.At(1, 0) != 0 {
+		t.Fatal("adjacency entries wrong")
+	}
+}
+
+func TestUndirectedComponents(t *testing.T) {
+	g := testGraph(t)
+	comp, sizes := g.UndirectedComponents()
+	if len(sizes) != 3 {
+		t.Fatalf("components = %d, want 3 (sizes %v)", len(sizes), sizes)
+	}
+	if comp[0] != comp[1] || comp[0] != comp[2] {
+		t.Fatal("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Fatal("3,4 should be their own component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("5 should be isolated")
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != g.N() {
+		t.Fatalf("component sizes sum to %d, want %d", total, g.N())
+	}
+}
+
+func TestEdgePrefix(t *testing.T) {
+	g := testGraph(t)
+	sub := g.EdgePrefix(3)
+	if sub.M() != 3 {
+		t.Fatalf("prefix M = %d", sub.M())
+	}
+	// First three edges lexicographically: (0,1),(0,2),(1,2) → max node 2.
+	if sub.N() != 3 {
+		t.Fatalf("prefix N = %d", sub.N())
+	}
+	if g.EdgePrefix(0).N() != 0 {
+		t.Fatal("empty prefix should have no nodes")
+	}
+}
+
+func TestNodePrefix(t *testing.T) {
+	g := testGraph(t)
+	sub := g.NodePrefix(3)
+	if sub.N() != 3 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	// Edges among {0,1,2}: (0,1),(0,2),(1,2),(2,0).
+	if sub.M() != 4 {
+		t.Fatalf("M = %d", sub.M())
+	}
+	if !sub.HasEdge(2, 0) || sub.HasEdge(0, 3) {
+		t.Fatal("NodePrefix edges wrong")
+	}
+	if g.NodePrefix(0).N() != 0 {
+		t.Fatal("empty prefix")
+	}
+	full := g.NodePrefix(g.N())
+	if full.M() != g.M() {
+		t.Fatal("full prefix should keep all edges")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range prefix")
+		}
+	}()
+	g.NodePrefix(g.N() + 1)
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := testGraph(t)
+	sub := g.InducedSubgraph([]int{2, 0, 1})
+	// Relabel: 2→0, 0→1, 1→2. Edges among {0,1,2}: (0,1),(0,2),(1,2),(2,0).
+	if sub.N() != 3 || sub.M() != 4 {
+		t.Fatalf("induced %v", sub)
+	}
+	if !sub.HasEdge(0, 1) { // old (2,0)
+		t.Fatal("missing relabelled edge")
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := testGraph(t)
+	perm := []int{5, 4, 3, 2, 1, 0}
+	r := g.Relabel(perm)
+	if r.M() != g.M() {
+		t.Fatal("relabel changed edge count")
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !r.HasEdge(perm[u], perm[v]) {
+				t.Fatalf("edge (%d,%d) missing after relabel", perm[u], perm[v])
+			}
+		}
+	}
+}
+
+func TestReadWriteEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1	2
+2 0
+
+3 3
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("parsed %v", g)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatal("edge list round trip changed graph")
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !back.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketGraphRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarketGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d want n=%d m=%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if !back.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) lost", u, v)
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketGraphSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+`
+	g, err := ReadMatrixMarketGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d, want 4 (symmetric expansion)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("symmetric edges missing")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{"0", "a b", "0 b", "-1 2"}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+// Property: component ids partition the nodes and edges never cross
+// components (in the undirected sense).
+func TestQuickComponentsArePartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		m := r.Intn(3 * n)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{r.Intn(n), r.Intn(n)}
+		}
+		g := MustNew(n, edges)
+		comp, sizes := g.UndirectedComponents()
+		count := make([]int, len(sizes))
+		for _, c := range comp {
+			if c < 0 || c >= len(sizes) {
+				return false
+			}
+			count[c]++
+		}
+		for i := range sizes {
+			if count[i] != sizes[i] {
+				return false
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(u) {
+				if comp[u] != comp[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

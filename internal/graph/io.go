@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bepi/internal/sparse"
+)
+
+// ReadEdgeList parses a whitespace-separated "src dst" edge list, one edge
+// per line. Lines beginning with '#' or '%' are comments. Node ids may be
+// arbitrary non-negative integers; the graph is sized to the largest id
+// seen plus one, so sparse id spaces produce isolated nodes (which are
+// deadends, as in the paper's datasets).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %q", lineNo, line)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src %q: %w", lineNo, fields[0], err)
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst %q: %w", lineNo, fields[1], err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, Edge{src, dst})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return New(maxID+1, edges)
+}
+
+// ReadMatrixMarketGraph parses a MatrixMarket coordinate stream as a
+// directed graph: every stored entry (i, j) becomes the edge i→j (values
+// are ignored; symmetric inputs yield both directions). Many public graph
+// datasets ship in this format.
+func ReadMatrixMarketGraph(r io.Reader) (*Graph, error) {
+	m, err := sparse.ReadMatrixMarket(r)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows()
+	if m.Cols() > n {
+		n = m.Cols()
+	}
+	edges := make([]Edge, 0, m.NNZ())
+	cols := m.ColIdx()
+	for i := 0; i < m.Rows(); i++ {
+		s, e := m.RowRange(i)
+		for p := s; p < e; p++ {
+			edges = append(edges, Edge{Src: i, Dst: cols[p]})
+		}
+	}
+	return New(n, edges)
+}
+
+// WriteMatrixMarket writes the graph's adjacency pattern in MatrixMarket
+// coordinate format.
+func (g *Graph) WriteMatrixMarket(w io.Writer) error {
+	return g.Adjacency().WriteMatrixMarket(w)
+}
+
+// WriteEdgeList writes the graph as a "src dst" edge list.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package method
+
+import (
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/graph"
+	"bepi/internal/solver"
+	"bepi/internal/sparse"
+)
+
+// Power is the power-iteration baseline (§2.2): no preprocessing beyond
+// building Ãᵀ, every query iterates r ← (1−c)Ãᵀr + cq to convergence.
+type Power struct {
+	cfg Config
+	at  *sparse.CSR
+	n   int
+}
+
+// NewPower returns a power-iteration method.
+func NewPower(cfg Config) *Power { return &Power{cfg: cfg.withDefaults()} }
+
+// Name implements Method.
+func (p *Power) Name() string { return "Power" }
+
+// IsPreprocessing implements Method.
+func (p *Power) IsPreprocessing() bool { return false }
+
+// Preprocess implements Method. For iterative methods this is only the
+// adjacency normalization, which the paper does not count as preprocessing.
+func (p *Power) Preprocess(g *graph.Graph) error {
+	p.at = core.RowNormalizedAdjacencyT(g)
+	p.n = g.N()
+	return nil
+}
+
+// Query implements Method.
+func (p *Power) Query(seed int) ([]float64, QueryInfo, error) {
+	if p.at == nil {
+		return nil, QueryInfo{}, ErrNotPreprocessed
+	}
+	start := time.Now()
+	q := make([]float64, p.n)
+	q[seed] = 1
+	r, st, err := solver.PowerIteration(p.at, q, p.cfg.C, solver.PowerOptions{
+		Tol:     p.cfg.Tol,
+		MaxIter: p.cfg.MaxIter,
+	})
+	return r, QueryInfo{Duration: time.Since(start), Iterations: st.Iterations}, err
+}
+
+// PrepTime implements Method.
+func (p *Power) PrepTime() time.Duration { return 0 }
+
+// MemoryBytes implements Method: iterative methods keep no preprocessed
+// data beyond the graph itself.
+func (p *Power) MemoryBytes() int64 { return 0 }
+
+// FullGMRES is the Krylov-subspace baseline (§2.2): GMRES applied to the
+// whole system H r = c q for every query.
+type FullGMRES struct {
+	cfg Config
+	h   *sparse.CSR
+	n   int
+}
+
+// NewFullGMRES returns a full-system GMRES method.
+func NewFullGMRES(cfg Config) *FullGMRES { return &FullGMRES{cfg: cfg.withDefaults()} }
+
+// Name implements Method.
+func (m *FullGMRES) Name() string { return "GMRES" }
+
+// IsPreprocessing implements Method.
+func (m *FullGMRES) IsPreprocessing() bool { return false }
+
+// Preprocess implements Method (builds H only).
+func (m *FullGMRES) Preprocess(g *graph.Graph) error {
+	m.h = core.BuildH(g, nil, m.cfg.C)
+	m.n = g.N()
+	return nil
+}
+
+// Query implements Method.
+func (m *FullGMRES) Query(seed int) ([]float64, QueryInfo, error) {
+	if m.h == nil {
+		return nil, QueryInfo{}, ErrNotPreprocessed
+	}
+	start := time.Now()
+	b := make([]float64, m.n)
+	b[seed] = m.cfg.C
+	r, st, err := solver.GMRES(m.h, b, solver.GMRESOptions{
+		Tol:     m.cfg.Tol,
+		MaxIter: m.cfg.MaxIter,
+	})
+	return r, QueryInfo{Duration: time.Since(start), Iterations: st.Iterations}, err
+}
+
+// PrepTime implements Method.
+func (m *FullGMRES) PrepTime() time.Duration { return 0 }
+
+// MemoryBytes implements Method.
+func (m *FullGMRES) MemoryBytes() int64 { return 0 }

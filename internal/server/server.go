@@ -1,0 +1,290 @@
+// Package server exposes a preprocessed BePI index over HTTP/JSON — the
+// "many queries against one index" serving shape the paper's preprocessing
+// phase exists for. The handler is stdlib net/http only and safe for
+// concurrent requests (the engine is read-only after preprocessing).
+//
+// Endpoints:
+//
+//	GET  /healthz                          liveness probe
+//	GET  /stats                            index statistics
+//	GET  /query?seed=N&topk=K              top-K ranking for a seed
+//	GET  /query?seed=N&full=true           the full score vector
+//	POST /personalized {"weights":{...}}   multi-seed PPR ranking
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bepi"
+)
+
+// Server is an http.Handler serving RWR queries from one engine.
+type Server struct {
+	eng *bepi.Engine
+	mux *http.ServeMux
+
+	// Served-traffic counters (atomic; exposed at /metrics).
+	queries      atomic.Int64
+	personalized atomic.Int64
+	errors       atomic.Int64
+	queryNanos   atomic.Int64
+}
+
+// New builds a server over a preprocessed engine.
+func New(eng *bepi.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/personalized", s.handlePersonalized)
+	return s
+}
+
+// MetricsResponse is the /metrics payload.
+type MetricsResponse struct {
+	Queries         int64   `json:"queries"`
+	Personalized    int64   `json:"personalized"`
+	Errors          int64   `json:"errors"`
+	AvgQueryMS      float64 `json:"avg_query_ms"`
+	IndexBytes      int64   `json:"index_bytes"`
+	PreprocessMS    float64 `json:"preprocess_ms"`
+	QueriesPerIndex float64 `json:"queries_per_preprocess"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	q := s.queries.Load() + s.personalized.Load()
+	var avg float64
+	if q > 0 {
+		avg = float64(s.queryNanos.Load()) / float64(q) / 1e6
+	}
+	prepMS := float64(s.eng.PreprocessTime().Microseconds()) / 1000
+	var ratio float64
+	if prepMS > 0 {
+		ratio = float64(q) * avg / prepMS
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Queries:         s.queries.Load(),
+		Personalized:    s.personalized.Load(),
+		Errors:          s.errors.Load(),
+		AvgQueryMS:      avg,
+		IndexBytes:      s.eng.MemoryBytes(),
+		PreprocessMS:    prepMS,
+		QueriesPerIndex: ratio,
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	writeError(w, status, format, args...)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes": s.eng.N()})
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Nodes          int     `json:"nodes"`
+	Spokes         int     `json:"spokes"`
+	Hubs           int     `json:"hubs"`
+	Deadends       int     `json:"deadends"`
+	SchurNNZ       int     `json:"schur_nnz"`
+	IndexBytes     int64   `json:"index_bytes"`
+	HubRatio       float64 `json:"hub_ratio"`
+	RestartProb    float64 `json:"restart_prob"`
+	Tolerance      float64 `json:"tolerance"`
+	Variant        string  `json:"variant"`
+	Preconditioned bool    `json:"preconditioned"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	st := s.eng.Internal().PrepStats()
+	opts := s.eng.Internal().Options()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Nodes:          s.eng.N(),
+		Spokes:         st.N1,
+		Hubs:           st.N2,
+		Deadends:       st.N3,
+		SchurNNZ:       st.SchurNNZ,
+		IndexBytes:     s.eng.MemoryBytes(),
+		HubRatio:       st.HubRatio,
+		RestartProb:    opts.C,
+		Tolerance:      opts.Tol,
+		Variant:        opts.Variant.String(),
+		Preconditioned: s.eng.Internal().Preconditioned(),
+	})
+}
+
+// RankedEntry is one row of a ranking response.
+type RankedEntry struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	Seed       int           `json:"seed"`
+	Top        []RankedEntry `json:"top,omitempty"`
+	Scores     []float64     `json:"scores,omitempty"`
+	Iterations int           `json:"iterations"`
+	DurationMS float64       `json:"duration_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	seedStr := r.URL.Query().Get("seed")
+	seed, err := strconv.Atoi(seedStr)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "seed %q is not an integer", seedStr)
+		return
+	}
+	if seed < 0 || seed >= s.eng.N() {
+		s.fail(w, http.StatusBadRequest, "seed %d out of range [0,%d)", seed, s.eng.N())
+		return
+	}
+	topk := 10
+	if v := r.URL.Query().Get("topk"); v != "" {
+		topk, err = strconv.Atoi(v)
+		if err != nil || topk < 0 {
+			s.fail(w, http.StatusBadRequest, "bad topk %q", v)
+			return
+		}
+	}
+	start := time.Now()
+	scores, st, err := s.eng.QueryWithStats(seed)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	s.queries.Add(1)
+	s.queryNanos.Add(time.Since(start).Nanoseconds())
+	resp := QueryResponse{
+		Seed:       seed,
+		Iterations: st.Iterations,
+		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if r.URL.Query().Get("full") == "true" {
+		resp.Scores = scores
+	} else {
+		top, err := s.eng.TopK(seed, topk)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "ranking failed: %v", err)
+			return
+		}
+		resp.Top = make([]RankedEntry, len(top))
+		for i, t := range top {
+			resp.Top[i] = RankedEntry{Node: t.Node, Score: t.Score}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PersonalizedRequest is the /personalized request body.
+type PersonalizedRequest struct {
+	// Weights maps node id (as a JSON string key) to restart weight.
+	Weights map[string]float64 `json:"weights"`
+	TopK    int                `json:"topk"`
+}
+
+func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req PersonalizedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Weights) == 0 {
+		writeError(w, http.StatusBadRequest, "weights must be non-empty")
+		return
+	}
+	q := make([]float64, s.eng.N())
+	var sum float64
+	seeds := map[int]bool{}
+	for k, v := range req.Weights {
+		node, err := strconv.Atoi(k)
+		if err != nil || node < 0 || node >= s.eng.N() {
+			writeError(w, http.StatusBadRequest, "bad node id %q", k)
+			return
+		}
+		if v < 0 {
+			writeError(w, http.StatusBadRequest, "negative weight for node %s", k)
+			return
+		}
+		q[node] += v
+		sum += v
+		seeds[node] = true
+	}
+	if sum <= 0 {
+		writeError(w, http.StatusBadRequest, "weights must sum to a positive value")
+		return
+	}
+	for i := range q {
+		q[i] /= sum
+	}
+	topk := req.TopK
+	if topk <= 0 {
+		topk = 10
+	}
+	start := time.Now()
+	scores, err := s.eng.Personalized(q)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	s.personalized.Add(1)
+	s.queryNanos.Add(time.Since(start).Nanoseconds())
+	var top []RankedEntry
+	for node, sc := range scores {
+		if seeds[node] || sc <= 0 {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && top[pos-1].Score < sc {
+			pos--
+		}
+		if pos >= topk {
+			continue
+		}
+		top = append(top, RankedEntry{})
+		copy(top[pos+1:], top[pos:])
+		top[pos] = RankedEntry{Node: node, Score: sc}
+		if len(top) > topk {
+			top = top[:topk]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"top":         top,
+		"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

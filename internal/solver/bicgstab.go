@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"fmt"
+
+	"bepi/internal/vec"
+)
+
+// BiCGSTAB solves A·x = b with the stabilized bi-conjugate gradient method
+// (van der Vorst), optionally left-preconditioned. It is the short-recurrence
+// alternative to GMRES for the Schur-complement system: two matrix-vector
+// products per iteration but O(1) memory in the iteration count, where full
+// GMRES stores the whole Krylov basis. Exposed as an engine option and used
+// by the solver-ablation experiment.
+func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error) {
+	opts = opts.withDefaults()
+	n := len(b)
+	x := make([]float64, n)
+	if n == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+	var stats Stats
+
+	t := make([]float64, n)
+	opts.Precond.Apply(t, b)
+	normB := vec.Norm2(t)
+	if normB == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+
+	// r = M⁻¹(b − A·x) = M⁻¹b for x = 0.
+	r := make([]float64, n)
+	copy(r, t)
+	rhat := make([]float64, n) // shadow residual, fixed
+	copy(rhat, r)
+	var rho, alpha, omega float64 = 1, 1, 1
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	tv := make([]float64, n)
+	scratch := make([]float64, n)
+
+	applyA := func(dst, src []float64) {
+		a.MulVec(scratch, src)
+		opts.Precond.Apply(dst, scratch)
+	}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		rhoNew := vec.Dot(rhat, r)
+		if rhoNew == 0 {
+			return x, stats, fmt.Errorf("solver: BiCGSTAB breakdown (rho=0) at iteration %d: %w",
+				iter, ErrNotConverged)
+		}
+		if iter == 1 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		applyA(v, p)
+		den := vec.Dot(rhat, v)
+		if den == 0 {
+			return x, stats, fmt.Errorf("solver: BiCGSTAB breakdown (rᵀv=0) at iteration %d: %w",
+				iter, ErrNotConverged)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		stats.Iterations = iter
+		if res := vec.Norm2(s) / normB; res <= opts.Tol {
+			vec.AXPY(alpha, p, x)
+			stats.Residual = res
+			stats.Converged = true
+			if opts.Callback != nil {
+				opts.Callback(iter, x)
+			}
+			return x, stats, nil
+		}
+		applyA(tv, s)
+		tt := vec.Dot(tv, tv)
+		if tt == 0 {
+			return x, stats, fmt.Errorf("solver: BiCGSTAB breakdown (t=0) at iteration %d: %w",
+				iter, ErrNotConverged)
+		}
+		omega = vec.Dot(tv, s) / tt
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*tv[i]
+		}
+		stats.Residual = vec.Norm2(r) / normB
+		if opts.Callback != nil {
+			opts.Callback(iter, x)
+		}
+		if stats.Residual <= opts.Tol {
+			stats.Converged = true
+			return x, stats, nil
+		}
+		if omega == 0 {
+			return x, stats, fmt.Errorf("solver: BiCGSTAB breakdown (omega=0) at iteration %d: %w",
+				iter, ErrNotConverged)
+		}
+	}
+	return x, stats, fmt.Errorf("after %d iterations (residual %.3g): %w",
+		stats.Iterations, stats.Residual, ErrNotConverged)
+}

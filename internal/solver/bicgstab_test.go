@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bepi/internal/lu"
+	"bepi/internal/vec"
+)
+
+func TestBiCGSTABSolvesRandomSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(60)
+		a := randDiagDominant(rng, n, 0.2)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, stats, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-11, MaxIter: 2000})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !stats.Converged {
+			t.Fatalf("trial %d: not converged", trial)
+		}
+		if r := residual(a, x, b); r > 1e-8 {
+			t.Fatalf("trial %d: residual %v", trial, r)
+		}
+	}
+}
+
+func TestBiCGSTABZeroAndEmpty(t *testing.T) {
+	x, stats, err := BiCGSTAB(randDiagDominant(rand.New(rand.NewSource(1)), 5, 0.5),
+		make([]float64, 5), GMRESOptions{})
+	if err != nil || !stats.Converged || vec.Norm2(x) != 0 {
+		t.Fatalf("zero rhs: x=%v stats=%+v err=%v", x, stats, err)
+	}
+	if _, stats, err := BiCGSTAB(nil, nil, GMRESOptions{}); err != nil || !stats.Converged {
+		t.Fatal("empty system should trivially converge")
+	}
+}
+
+func TestBiCGSTABPreconditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDiagDominant(rng, 200, 0.03)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, plain, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-10, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := lu.FactorILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, cond, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-10, MaxIter: 2000, Precond: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond.Iterations >= plain.Iterations {
+		t.Fatalf("preconditioned %d iters >= plain %d", cond.Iterations, plain.Iterations)
+	}
+	if r := residual(a, x, b); r > 1e-7 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestBiCGSTABIterationLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDiagDominant(rng, 60, 0.2)
+	b := make([]float64, 60)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	if _, _, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-15, MaxIter: 1}); err == nil {
+		t.Fatal("expected iteration-limit error")
+	}
+}
+
+func TestBiCGSTABAgreesWithGMRES(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(50)
+		a := randDiagDominant(rng, n, 0.2)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xg, _, err := GMRES(a, b, GMRESOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xb, _, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-12, MaxIter: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := vec.Dist2(xg, xb); d > 1e-7 {
+			t.Fatalf("trial %d: GMRES vs BiCGSTAB distance %v", trial, d)
+		}
+	}
+}
+
+// Property: BiCGSTAB solutions satisfy the system on random diagonally
+// dominant matrices.
+func TestQuickBiCGSTAB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		a := randDiagDominant(r, n, 0.3)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, stats, err := BiCGSTAB(a, b, GMRESOptions{Tol: 1e-10, MaxIter: 2000})
+		if err != nil || !stats.Converged {
+			return false
+		}
+		return residual(a, x, b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package solver implements the iterative linear solvers BePI builds on:
+// power iteration for the RWR fixed point, and GMRES (Saad & Schultz) with
+// optional left preconditioning (Saad's preconditioned variant, Appendix B
+// of the paper) for the Schur-complement system and the full-system
+// baseline.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"bepi/internal/vec"
+)
+
+// Operator is anything that can multiply a vector: dst = A·x.
+// *sparse.CSR satisfies it.
+type Operator interface {
+	MulVec(dst, x []float64)
+}
+
+// Preconditioner applies M⁻¹: dst = M⁻¹·src. dst and src may alias.
+// *lu.ILU satisfies it.
+type Preconditioner interface {
+	Apply(dst, src []float64)
+}
+
+// identity is the trivial preconditioner.
+type identity struct{}
+
+// Apply copies src to dst (M = I).
+func (identity) Apply(dst, src []float64) {
+	if &dst[0] != &src[0] {
+		copy(dst, src)
+	}
+}
+
+// Stats reports how an iterative solve went.
+type Stats struct {
+	Iterations int     // matrix-vector products consumed
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrNotConverged is wrapped by solvers that hit their iteration limit.
+var ErrNotConverged = errors.New("solver: iteration limit reached before convergence")
+
+// GMRESOptions configures a GMRES solve.
+type GMRESOptions struct {
+	// Tol is the relative-residual stopping tolerance (default 1e-9, the
+	// paper's ε).
+	Tol float64
+	// MaxIter bounds the total number of Arnoldi steps (default 1000).
+	MaxIter int
+	// Restart, if positive, restarts GMRES every Restart iterations.
+	// Zero means full GMRES, as the paper uses.
+	Restart int
+	// Precond, if non-nil, left-preconditions the system: M⁻¹A x = M⁻¹b.
+	Precond Preconditioner
+	// Callback, if non-nil, receives the current iterate after every
+	// Arnoldi step. Assembling the iterate costs a triangular solve and a
+	// basis combination per step; intended for accuracy experiments.
+	Callback func(iter int, x []float64)
+}
+
+func (o GMRESOptions) withDefaults() GMRESOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1000
+	}
+	if o.Precond == nil {
+		o.Precond = identity{}
+	}
+	return o
+}
+
+// GMRES solves A·x = b, returning the solution and solve statistics.
+// The residual reported and tested against Tol is the (preconditioned)
+// relative residual ‖M⁻¹(A·x − b)‖₂ / ‖M⁻¹b‖₂, matching the stopping rule
+// of Algorithm 5 in the paper.
+func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error) {
+	opts = opts.withDefaults()
+	n := len(b)
+	x := make([]float64, n)
+	if n == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+	cycle := opts.Restart
+	if cycle <= 0 || cycle > opts.MaxIter {
+		cycle = opts.MaxIter
+	}
+
+	var stats Stats
+	t := make([]float64, n) // M⁻¹ b
+	opts.Precond.Apply(t, b)
+	normT := vec.Norm2(t)
+	if normT == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+
+	scratch := make([]float64, n)
+	for stats.Iterations < opts.MaxIter {
+		// Residual of the current iterate in the preconditioned norm.
+		a.MulVec(scratch, x)
+		vec.Sub(scratch, b, scratch) // b − A·x
+		z := make([]float64, n)
+		opts.Precond.Apply(z, scratch)
+		beta := vec.Norm2(z)
+		stats.Residual = beta / normT
+		if stats.Residual <= opts.Tol {
+			stats.Converged = true
+			return x, stats, nil
+		}
+
+		m := cycle
+		if rem := opts.MaxIter - stats.Iterations; m > rem {
+			m = rem
+		}
+		// Arnoldi basis and Hessenberg factorization with Givens updates.
+		v := make([][]float64, 1, m+1)
+		vec.Scale(1/beta, z)
+		v[0] = z
+		h := make([][]float64, 0, m) // h[j] has length j+2
+		cs := make([]float64, 0, m)  // Givens cosines
+		sn := make([]float64, 0, m)  // Givens sines
+		g := make([]float64, 1, m+1) // rotated rhs
+		g[0] = beta
+
+		converged := false
+		steps := 0
+		for j := 0; j < m; j++ {
+			w := make([]float64, n)
+			a.MulVec(scratch, v[j])
+			opts.Precond.Apply(w, scratch)
+			// Modified Gram-Schmidt.
+			hj := make([]float64, j+2)
+			for i := 0; i <= j; i++ {
+				hj[i] = vec.Dot(w, v[i])
+				vec.AXPY(-hj[i], v[i], w)
+			}
+			hj[j+1] = vec.Norm2(w)
+			breakdown := hj[j+1] < 1e-300
+			if !breakdown {
+				vec.Scale(1/hj[j+1], w)
+				v = append(v, w)
+			}
+			// Apply accumulated rotations to the new column.
+			for i := 0; i < j; i++ {
+				hj[i], hj[i+1] = cs[i]*hj[i]+sn[i]*hj[i+1], -sn[i]*hj[i]+cs[i]*hj[i+1]
+			}
+			// New rotation to annihilate hj[j+1].
+			c, s := givens(hj[j], hj[j+1])
+			cs, sn = append(cs, c), append(sn, s)
+			hj[j] = c*hj[j] + s*hj[j+1]
+			hj[j+1] = 0
+			h = append(h, hj)
+			g = append(g, -s*g[j])
+			g[j] = c * g[j]
+			stats.Iterations++
+			steps = j + 1
+			stats.Residual = math.Abs(g[j+1]) / normT
+			if opts.Callback != nil {
+				xj := assemble(x, v, h, g, steps)
+				opts.Callback(stats.Iterations, xj)
+			}
+			if stats.Residual <= opts.Tol || breakdown {
+				converged = stats.Residual <= opts.Tol || breakdown
+				break
+			}
+		}
+		// Update x with the minimizer over the Krylov space built so far.
+		x = assemble(x, v, h, g, steps)
+		if converged {
+			stats.Converged = true
+			return x, stats, nil
+		}
+	}
+	return x, stats, fmt.Errorf("after %d iterations (residual %.3g): %w",
+		stats.Iterations, stats.Residual, ErrNotConverged)
+}
+
+// assemble returns x + V·y where R·y = g is the triangular least-squares
+// system accumulated by the Givens rotations (first `steps` columns).
+func assemble(x []float64, v [][]float64, h [][]float64, g []float64, steps int) []float64 {
+	y := make([]float64, steps)
+	for i := steps - 1; i >= 0; i-- {
+		s := g[i]
+		for k := i + 1; k < steps; k++ {
+			s -= h[k][i] * y[k]
+		}
+		// h[i][i] is the rotated diagonal.
+		if h[i][i] == 0 {
+			y[i] = 0
+			continue
+		}
+		y[i] = s / h[i][i]
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	for k := 0; k < steps; k++ {
+		vec.AXPY(y[k], v[k], out)
+	}
+	return out
+}
+
+// givens returns the rotation (c, s) with c·a + s·b = r, −s·a + c·b = 0.
+func givens(a, b float64) (c, s float64) {
+	if b == 0 {
+		return 1, 0
+	}
+	if math.Abs(b) > math.Abs(a) {
+		t := a / b
+		s = 1 / math.Sqrt(1+t*t)
+		return s * t, s
+	}
+	t := b / a
+	c = 1 / math.Sqrt(1+t*t)
+	return c, c * t
+}
+
+// PowerOptions configures a power-iteration solve.
+type PowerOptions struct {
+	Tol      float64 // ‖r⁽ⁱ⁾ − r⁽ⁱ⁻¹⁾‖₂ stopping threshold (default 1e-9)
+	MaxIter  int     // default 1000
+	Callback func(iter int, r []float64)
+}
+
+// PowerIteration computes the RWR vector by iterating
+// r ← (1−c)·Ãᵀ·r + c·q until successive iterates differ by at most Tol.
+// at must multiply by Ãᵀ (use sparse.CSR.MulVec on the transposed matrix, or
+// wrap MulVecT). The returned vector is a fresh slice.
+func PowerIteration(at Operator, q []float64, c float64, opts PowerOptions) ([]float64, Stats, error) {
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 1000
+	}
+	n := len(q)
+	r := make([]float64, n)
+	copy(r, q) // start from q (any start converges; this matches c=1·q)
+	next := make([]float64, n)
+	var stats Stats
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		at.MulVec(next, r)
+		for i := range next {
+			next[i] = (1-c)*next[i] + c*q[i]
+		}
+		stats.Iterations = iter
+		diff := vec.Dist2(next, r)
+		r, next = next, r
+		if opts.Callback != nil {
+			opts.Callback(iter, r)
+		}
+		stats.Residual = diff
+		if diff <= opts.Tol {
+			stats.Converged = true
+			return r, stats, nil
+		}
+	}
+	return r, stats, fmt.Errorf("after %d iterations (diff %.3g): %w",
+		stats.Iterations, stats.Residual, ErrNotConverged)
+}

@@ -1,0 +1,39 @@
+package sparse
+
+import "fmt"
+
+// ToDense converts the matrix into a row-major dense [][]float64. Intended
+// for tests and small exact solves only.
+func (m *CSR) ToDense() [][]float64 {
+	d := make([][]float64, m.rows)
+	flat := make([]float64, m.rows*m.cols)
+	for i := 0; i < m.rows; i++ {
+		d[i] = flat[i*m.cols : (i+1)*m.cols]
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d[i][m.col[p]] = m.val[p]
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSR matrix from a dense row-major matrix, storing only
+// nonzero entries.
+func FromDense(d [][]float64) *CSR {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	coo := NewCOO(rows, cols)
+	for i, row := range d {
+		if len(row) != cols {
+			panic(fmt.Sprintf("sparse: ragged dense row %d: %d vs %d", i, len(row), cols))
+		}
+		for j, v := range row {
+			if v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}

@@ -1,0 +1,49 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadCSR checks that arbitrary bytes never panic the deserializer and
+// that anything it accepts re-serializes to a parseable matrix.
+func FuzzReadCSR(f *testing.F) {
+	// Seed with a valid serialized matrix and a few mutations.
+	rng := rand.New(rand.NewSource(1))
+	m := randCSR(rng, 8, 6, 0.4)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x49, 0x50, 0x65, 0x42}) // magic only
+	mutated := append([]byte(nil), valid...)
+	mutated[10] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be internally consistent and round-trip.
+		if got.Rows() < 0 || got.Cols() < 0 {
+			t.Fatal("negative dims accepted")
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadCSR(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if back.Rows() != got.Rows() || back.NNZ() != got.NNZ() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

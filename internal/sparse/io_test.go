@@ -1,0 +1,61 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		m := randCSR(rng, 1+rng.Intn(50), 1+rng.Intn(50), 0.2)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		back, err := ReadCSR(&buf)
+		if err != nil {
+			t.Fatalf("ReadCSR: %v", err)
+		}
+		if !m.Equal(back) {
+			t.Fatalf("trial %d: round trip not bit-exact", trial)
+		}
+	}
+}
+
+func TestSerializationEmptyMatrix(t *testing.T) {
+	m := Zero(5, 7)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSR: %v", err)
+	}
+	if back.Rows() != 5 || back.Cols() != 7 || back.NNZ() != 0 {
+		t.Fatalf("got %v", back)
+	}
+}
+
+func TestReadCSRRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSR(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadCSR(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadCSRRejectsTruncated(t *testing.T) {
+	m := Identity(10)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadCSR(bytes.NewReader(raw[:len(raw)-9])); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O: the de-facto interchange format for sparse matrices
+// (and the format most public graph datasets ship in). Supported flavor:
+// "%%MatrixMarket matrix coordinate real|integer|pattern general|symmetric".
+// Symmetric inputs are expanded to full storage on read.
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into a CSR
+// matrix.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sparse: reading MatrixMarket header: %w", err)
+		}
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket banner %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported layout %q (only coordinate)", header[2])
+	}
+	field := header[3]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported field %q", field)
+	}
+	sym := header[4]
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+	}
+
+	// Size line (after comments).
+	var rows, cols, nnz int
+	sized := false
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("sparse: line %d: bad size line %q", lineNo, line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+		}
+		sized = true
+		break
+	}
+	if !sized {
+		return nil, fmt.Errorf("sparse: MatrixMarket stream has no size line")
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative MatrixMarket sizes %d %d %d", rows, cols, nnz)
+	}
+	if sym == "symmetric" && rows != cols {
+		return nil, fmt.Errorf("sparse: symmetric matrix must be square, got %dx%d", rows, cols)
+	}
+
+	coo := NewCOO(rows, cols)
+	coo.Reserve(nnz)
+	read := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if field == "pattern" {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("sparse: line %d: want %d fields, got %q", lineNo, want, line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+		}
+		// MatrixMarket is 1-indexed.
+		i--
+		j--
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("sparse: line %d: entry (%d,%d) out of %dx%d", lineNo, i+1, j+1, rows, cols)
+		}
+		v := 1.0
+		if field != "pattern" {
+			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("sparse: line %d: %w", lineNo, err)
+			}
+		}
+		coo.Add(i, j, v)
+		if sym == "symmetric" && i != j {
+			coo.Add(j, i, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sparse: scanning MatrixMarket: %w", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket declared %d entries, found %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes the matrix as "coordinate real general".
+func (m *CSR) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.rows, m.cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.col[p]+1, m.val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

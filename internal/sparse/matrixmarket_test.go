@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		m := randCSR(rng, 1+rng.Intn(30), 1+rng.Intn(30), 0.2)
+		var buf bytes.Buffer
+		if err := m.WriteMatrixMarket(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.AlmostEqual(back, 1e-15) {
+			t.Fatalf("trial %d: round trip changed values", trial)
+		}
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only
+3 3 3
+1 1 2.0
+2 1 -1.5
+3 2 4.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5 (expanded)", m.NNZ())
+	}
+	if m.At(0, 1) != -1.5 || m.At(1, 0) != -1.5 {
+		t.Fatal("symmetric expansion missing")
+	}
+	if m.At(0, 0) != 2.0 {
+		t.Fatal("diagonal must not be duplicated")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 3
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 2) != 1 || m.At(1, 0) != 1 {
+		t.Fatal("pattern entries must read as 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n",
+		"%%MatrixMarket matrix array real general\n2 2 0\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 0\n",
+		"%%MatrixMarket matrix coordinate real weird\n2 2 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestMatrixMarketCommentsAndBlanks(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+
+% another
+2 2 1
+
+1 2 3.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 3.5 {
+		t.Fatal("entry lost among comments")
+	}
+}

@@ -1,0 +1,438 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randCSR builds a random rows×cols matrix with the given fill density.
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func denseMulVec(d [][]float64, x []float64) []float64 {
+	out := make([]float64, len(d))
+	for i, row := range d {
+		for j, v := range row {
+			out[i] += v * x[j]
+		}
+	}
+	return out
+}
+
+func TestCOOToCSRSortsAndMerges(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(2, 1, 1.0)
+	coo.Add(0, 2, 3.0)
+	coo.Add(2, 1, 2.0) // duplicate, must merge to 3.0
+	coo.Add(0, 0, 5.0)
+	coo.Add(1, 1, -1.0)
+	m := coo.ToCSR()
+	if m.NNZ() != 4 {
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	if got := m.At(2, 1); got != 3.0 {
+		t.Errorf("At(2,1) = %v, want 3", got)
+	}
+	if got := m.At(0, 0); got != 5.0 {
+		t.Errorf("At(0,0) = %v, want 5", got)
+	}
+	if got := m.At(0, 1); got != 0 {
+		t.Errorf("At(0,1) = %v, want 0", got)
+	}
+	// Check sortedness invariant.
+	for i := 0; i < m.Rows(); i++ {
+		s, e := m.RowRange(i)
+		for p := s + 1; p < e; p++ {
+			if m.ColIdx()[p] <= m.ColIdx()[p-1] {
+				t.Fatalf("row %d not strictly sorted", i)
+			}
+		}
+	}
+}
+
+func TestCOOAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestIdentityAndDiagonal(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	id.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity MulVec mismatch at %d", i)
+		}
+	}
+	d := Diagonal([]float64{2, 3})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 3 || d.At(0, 1) != 0 {
+		t.Fatal("Diagonal wrong")
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		m := randCSR(rng, rows, cols, 0.3)
+		d := m.ToDense()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		want := denseMulVec(d, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		m := randCSR(rng, rows, cols, 0.3)
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		m.MulVecT(got, x)
+		want := make([]float64, cols)
+		m.Transpose().MulVec(want, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVecT[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		m := randCSR(rng, 1+rng.Intn(40), 1+rng.Intn(40), 0.2)
+		tt := m.Transpose().Transpose()
+		if !m.Equal(tt) {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCSR(rng, 20, 15, 0.3)
+	b := randCSR(rng, 20, 15, 0.3)
+	sum := a.Add(b)
+	diff := sum.Sub(b)
+	if !diff.AlmostEqual(a, 1e-12) {
+		t.Fatal("(a+b)-b != a")
+	}
+	zero := a.Sub(a)
+	if zero.MaxAbs() != 0 {
+		t.Fatal("a-a != 0")
+	}
+	scaled := a.Clone().Scale(2)
+	if !scaled.AlmostEqual(a.Add(a), 1e-12) {
+		t.Fatal("2a != a+a")
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		m, k, n := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randCSR(rng, m, k, 0.3)
+		b := randCSR(rng, k, n, 0.3)
+		c := a.Mul(b)
+		da, db, dc := a.ToDense(), b.ToDense(), c.ToDense()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for t2 := 0; t2 < k; t2++ {
+					want += da[i][t2] * db[t2][j]
+				}
+				if math.Abs(dc[i][j]-want) > 1e-10 {
+					t.Fatalf("trial %d: C[%d][%d] = %v, want %v", trial, i, j, dc[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPermuteSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		m := randCSR(rng, n, n, 0.3)
+		perm := rng.Perm(n)
+		p := m.PermuteSym(perm)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if got, want := p.At(perm[i], perm[j]), m.At(i, j); got != want {
+					t.Fatalf("trial %d: P[%d][%d] = %v, want %v", trial, perm[i], perm[j], got, want)
+				}
+			}
+		}
+		if p.NNZ() != m.NNZ() {
+			t.Fatalf("permutation changed nnz: %d vs %d", p.NNZ(), m.NNZ())
+		}
+	}
+}
+
+func TestBlockExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randCSR(rng, 30, 25, 0.3)
+	r0, r1, c0, c1 := 5, 20, 3, 17
+	b := m.Block(r0, r1, c0, c1)
+	if b.Rows() != r1-r0 || b.Cols() != c1-c0 {
+		t.Fatalf("block shape %dx%d", b.Rows(), b.Cols())
+	}
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			if got, want := b.At(i-r0, j-c0), m.At(i, j); got != want {
+				t.Fatalf("block[%d][%d] = %v, want %v", i-r0, j-c0, got, want)
+			}
+		}
+	}
+	// Degenerate empty block.
+	e := m.Block(4, 4, 0, 25)
+	if e.Rows() != 0 || e.NNZ() != 0 {
+		t.Fatal("empty block not empty")
+	}
+}
+
+func TestRowNormalize(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 1, 2)
+	coo.Add(2, 2, 5)
+	// Row 1 is empty (deadend-like) and must stay empty.
+	m := coo.ToCSR().RowNormalize()
+	sums := m.RowSums()
+	if math.Abs(sums[0]-1) > 1e-15 || sums[1] != 0 || math.Abs(sums[2]-1) > 1e-15 {
+		t.Fatalf("row sums after normalize: %v", sums)
+	}
+}
+
+func TestDropZeros(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 0, 1e-14)
+	coo.Add(0, 2, 1)
+	coo.Add(1, 1, -2)
+	m := coo.ToCSR().DropZeros(1e-12)
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz after drop = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 0) != 0 || m.At(0, 2) != 1 || m.At(1, 1) != -2 {
+		t.Fatal("DropZeros removed wrong entries")
+	}
+}
+
+func TestAddMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := randCSR(rng, 12, 9, 0.4)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 12)
+	for i := range dst {
+		dst[i] = float64(i)
+	}
+	want := make([]float64, 12)
+	copy(want, dst)
+	mx := make([]float64, 12)
+	m.MulVec(mx, x)
+	for i := range want {
+		want[i] += 2.5 * mx[i]
+	}
+	m.AddMulVec(dst, 2.5, x)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("AddMulVec[%d] = %v want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := FromDense([][]float64{{1, 2, 0}, {0, 0, 0}, {-1, 0, 4}})
+	s := m.RowSums()
+	if s[0] != 3 || s[1] != 0 || s[2] != 3 {
+		t.Fatalf("RowSums = %v", s)
+	}
+}
+
+func TestReserveAndNNZ(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Reserve(10)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1)
+	if coo.NNZ() != 2 || coo.Rows() != 3 || coo.Cols() != 3 {
+		t.Fatal("COO accounting wrong")
+	}
+	coo.Reserve(4) // shrinking request is a no-op
+	if coo.NNZ() != 2 {
+		t.Fatal("Reserve lost entries")
+	}
+}
+
+func TestDiagAndNorms(t *testing.T) {
+	m := FromDense([][]float64{{3, 0, -4}, {0, 5, 0}, {1, 0, 2}})
+	d := m.Diag()
+	if d[0] != 3 || d[1] != 5 || d[2] != 2 {
+		t.Fatalf("Diag = %v", d)
+	}
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	want := math.Sqrt(9 + 16 + 25 + 1 + 4)
+	if math.Abs(m.FrobeniusNorm()-want) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v, want %v", m.FrobeniusNorm(), want)
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randCSR(rng, 17, 23, 0.25)
+	back := FromDense(m.ToDense())
+	if !m.Equal(back) {
+		t.Fatal("dense round trip lost information")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := Identity(10)
+	want := int64(10*16 + 11*8)
+	if m.MemoryBytes() != want {
+		t.Fatalf("MemoryBytes = %d, want %d", m.MemoryBytes(), want)
+	}
+}
+
+// Property: for random matrices and vectors, (AB)x == A(Bx).
+func TestQuickMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a := randCSR(r, m, k, 0.4)
+		b := randCSR(r, k, n, 0.4)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		bx := make([]float64, k)
+		b.MulVec(bx, x)
+		abx := make([]float64, m)
+		a.MulVec(abx, bx)
+		ab := a.Mul(b)
+		got := make([]float64, m)
+		ab.MulVec(got, x)
+		for i := range got {
+			if math.Abs(got[i]-abx[i]) > 1e-9*(1+math.Abs(abx[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PermuteSym with a random permutation preserves MulVec up to
+// permutation of the coordinates.
+func TestQuickPermutePreservesAction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		a := randCSR(r, n, n, 0.4)
+		perm := r.Perm(n)
+		p := a.PermuteSym(perm)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		// y = A x, then permuted: y'[perm[i]] should equal (P A Pᵀ)(x')[perm[i]]
+		// where x'[perm[i]] = x[i].
+		xp := make([]float64, n)
+		for i := range x {
+			xp[perm[i]] = x[i]
+		}
+		y := make([]float64, n)
+		a.MulVec(y, x)
+		yp := make([]float64, n)
+		p.MulVec(yp, xp)
+		for i := range y {
+			if math.Abs(yp[perm[i]]-y[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose distributes over addition.
+func TestQuickTransposeAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		a := randCSR(r, rows, cols, 0.4)
+		b := randCSR(r, rows, cols, 0.4)
+		lhs := a.Add(b).Transpose()
+		rhs := a.Transpose().Add(b.Transpose())
+		return lhs.AlmostEqual(rhs, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSpMV(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := randCSR(rng, 2000, 2000, 0.005)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	y := make([]float64, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(y, x)
+	}
+}
+
+func BenchmarkSpMSpM(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(rng, 500, 500, 0.01)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Mul(m)
+	}
+}

@@ -1,0 +1,147 @@
+// Package vec provides the small set of dense-vector kernels shared by the
+// iterative solvers and the BePI engine.
+package vec
+
+import "math"
+
+// Dot returns the inner product of x and y (lengths must match).
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Scaled accumulation avoids overflow for extreme values.
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the max-abs entry of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm1 returns the sum of absolute entries of x.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// AXPY computes y += alpha·x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Sub computes dst = x − y.
+func Sub(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Add computes dst = x + y.
+func Add(dst, x, y []float64) {
+	if len(dst) != len(x) || len(x) != len(y) {
+		panic("vec: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Zero sets every entry of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Sum returns the sum of entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Dist2 returns the Euclidean distance between x and y.
+func Dist2(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: Dist2 length mismatch")
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMax returns the index of the largest entry (first on ties), or -1 for
+// an empty vector.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
