@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-checks the whole module; the qexec/server concurrency stress tests
+# only give real coverage under -race.
+race:
+	$(GO) test -race ./...
+
+# The CI gate: everything must build, vet clean, and pass under the race
+# detector.
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkQexecThroughput -benchmem ./internal/qexec/

@@ -1,28 +1,46 @@
 // Command bepi-serve serves RWR queries from a preprocessed index over
-// HTTP/JSON.
+// HTTP/JSON through the qexec execution subsystem (pooled workspaces,
+// batched multi-seed solves, score cache, admission control).
 //
 //	bepi-serve -index graph.idx -addr :8080
 //
 //	curl localhost:8080/query?seed=42&topk=10
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/personalized -d '{"weights":{"3":0.5,"9":0.5}}'
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// requests get up to -shutdown-timeout to finish, and the execution pool
+// drains.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bepi"
+	"bepi/internal/qexec"
 	"bepi/internal/server"
 )
 
 func main() {
 	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (required)")
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("batch-max", 0, "max queries coalesced into one multi-seed solve (0 = default 8)")
+	batchWindow := flag.Duration("batch-window", 0, "how long a non-full batch waits for more queries (0 = default 200µs, negative disables)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue bound; excess requests get 429 (0 = default 4×workers×batch-max)")
+	cacheEntries := flag.Int("cache-entries", 0, "LRU score-cache capacity (0 = default 1024, negative disables)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline enforced inside the solver (0 = none)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 	if *indexPath == "" {
 		fmt.Fprintln(os.Stderr, "bepi-serve: -index is required")
@@ -40,13 +58,47 @@ func main() {
 	}
 	log.Printf("loaded %s (%d nodes, %d bytes) in %v",
 		*indexPath, eng.N(), eng.MemoryBytes(), time.Since(start).Round(time.Millisecond))
+
+	handler := server.NewWithConfig(eng, qexec.Config{
+		Workers:      *workers,
+		MaxBatch:     *maxBatch,
+		BatchWindow:  *batchWindow,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		Timeout:      *queryTimeout,
+	})
+	cfg := handler.Executor().Config()
+	log.Printf("qexec: %d workers, batch ≤%d within %v, queue %d, cache %d entries, timeout %v",
+		cfg.Workers, cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth, cfg.CacheEntries, cfg.Timeout)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(eng),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving RWR queries on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
+		// Listener failed before any shutdown signal.
 		log.Fatalf("bepi-serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down (in-flight grace %v)", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("bepi-serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("bepi-serve: %v", err)
+		}
+		handler.Close()
+		log.Printf("bye")
 	}
 }

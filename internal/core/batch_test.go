@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"bepi/internal/gen"
+)
+
+// TestQueryVectorBatchMatchesSingle checks that the batched multi-RHS path
+// with a reused workspace reproduces the one-at-a-time path bit for bit:
+// same SpMV and substitution orders, just amortized matrix traversals.
+func TestQueryVectorBatchMatchesSingle(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 7))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int{0, 3, 17, 42, 3} // includes a duplicate
+	qs := make([][]float64, len(seeds))
+	for i, s := range seeds {
+		q := make([]float64, e.N())
+		q[s] = 1
+		qs[i] = q
+	}
+	ws := e.NewWorkspace()
+	res, stats, errs := e.QueryVectorBatch(nil, qs, ws)
+	for i, s := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("batch item %d: %v", i, errs[i])
+		}
+		want, wstats, err := e.Query(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if res[i][u] != want[u] {
+				t.Fatalf("seed %d node %d: batch %v single %v", s, u, res[i][u], want[u])
+			}
+		}
+		if stats[i].Iterations != wstats.Iterations {
+			t.Fatalf("seed %d: batch took %d iterations, single %d", s, stats[i].Iterations, wstats.Iterations)
+		}
+	}
+
+	// Workspace reuse across calls must not leak state between batches.
+	res2, _, errs2 := e.QueryVectorBatch(nil, qs[:2], ws)
+	for i := range res2 {
+		if errs2[i] != nil {
+			t.Fatal(errs2[i])
+		}
+		for u := range res2[i] {
+			if res2[i][u] != res[i][u] {
+				t.Fatalf("workspace reuse changed result for item %d", i)
+			}
+		}
+	}
+}
+
+// TestQueryVectorBatchPartialFailure checks positional error isolation: a
+// bad or pre-canceled item must not poison its batchmates.
+func TestQueryVectorBatchPartialFailure(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 5, 11))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]float64, e.N())
+	good[1] = 1
+	bad := make([]float64, e.N()+3)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctxs := []context.Context{nil, nil, canceled}
+	qs := [][]float64{good, bad, good}
+	res, _, errs := e.QueryVectorBatch(ctxs, qs, nil)
+	if errs[0] != nil || res[0] == nil {
+		t.Fatalf("good item failed: %v", errs[0])
+	}
+	if errs[1] == nil || res[1] != nil {
+		t.Fatal("length-mismatched item should fail positionally")
+	}
+	if errs[2] == nil || !errorsIsContext(errs[2]) || res[2] != nil {
+		t.Fatalf("canceled item should carry its context error, got %v", errs[2])
+	}
+	want, _, err := e.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diff float64
+	for u := range want {
+		diff = math.Max(diff, math.Abs(res[0][u]-want[u]))
+	}
+	if diff > 1e-12 {
+		t.Fatalf("good item diverged by %g", diff)
+	}
+}
+
+func errorsIsContext(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// TestQueryContextCancel checks the deadline reaches the iterative solver.
+func TestQueryContextCancel(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 5, 13))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := make([]float64, e.N())
+	q[0] = 1
+	_, _, qerr := e.QueryVectorWS(ctx, q, nil)
+	if qerr == nil {
+		t.Fatal("canceled context should abort the query")
+	}
+}

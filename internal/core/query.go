@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"bepi/internal/solver"
@@ -22,90 +24,29 @@ func (e *Engine) Query(seed int) ([]float64, QueryStats, error) {
 // QueryVector computes the personalized PageRank vector for an arbitrary
 // starting distribution q (indexed by original node ids). RWR is the
 // special case of a single-entry q; multi-seed q gives PPR, which the
-// block-elimination machinery supports unchanged.
+// block-elimination machinery supports unchanged. It is the batch-of-one
+// case of QueryVectorBatch.
 func (e *Engine) QueryVector(q []float64) ([]float64, QueryStats, error) {
-	if len(q) != e.n {
-		return nil, QueryStats{}, fmt.Errorf("core: query vector length %d want %d", len(q), e.n)
-	}
-	start := time.Now()
-	n1, n2 := e.ord.N1, e.ord.N2
-	l := n1 + n2
-	c := e.opts.C
-
-	// Permute q into the reordered space and split into q1, q2, q3.
-	qp := make([]float64, e.n)
-	for old, v := range q {
-		if v != 0 {
-			qp[e.ord.Perm[old]] = v
-		}
-	}
-	q1 := qp[:n1]
-	q2 := qp[n1:l]
-	q3 := qp[l:]
-
-	// q̃2 = c·q2 − H21·(H11⁻¹·(c·q1))   (Algorithm 4, line 3)
-	t1 := make([]float64, n1)
-	for i, v := range q1 {
-		t1[i] = c * v
-	}
-	e.h11LU.Solve(t1)
-	qt2 := make([]float64, n2)
-	e.h21.MulVec(qt2, t1)
-	for i := range qt2 {
-		qt2[i] = c*q2[i] - qt2[i]
-	}
-
-	// Solve S·r2 = q̃2 with the (preconditioned) iterative solver (line 4).
-	r2, stats, err := e.solveSchur(qt2, nil)
-	if err != nil {
-		return nil, QueryStats{Duration: time.Since(start), Iterations: stats.Iterations, Residual: stats.Residual},
-			fmt.Errorf("core: solving Schur system: %w", err)
-	}
-
-	// r1 = H11⁻¹·(c·q1 − H12·r2)   (line 5)
-	r1 := make([]float64, n1)
-	e.h12.MulVec(r1, r2)
-	for i := range r1 {
-		r1[i] = c*q1[i] - r1[i]
-	}
-	e.h11LU.Solve(r1)
-
-	// r3 = c·q3 − H31·r1 − H32·r2   (line 6)
-	r3 := make([]float64, e.n-l)
-	e.h31.MulVec(r3, r1)
-	tmp := make([]float64, e.n-l)
-	e.h32.MulVec(tmp, r2)
-	for i := range r3 {
-		r3[i] = c*q3[i] - r3[i] - tmp[i]
-	}
-
-	// Concatenate and un-permute back to original ids (line 7).
-	r := make([]float64, e.n)
-	for old := 0; old < e.n; old++ {
-		nw := e.ord.Perm[old]
-		switch {
-		case nw < n1:
-			r[old] = r1[nw]
-		case nw < l:
-			r[old] = r2[nw-n1]
-		default:
-			r[old] = r3[nw-l]
-		}
-	}
-	return r, QueryStats{
-		Duration:   time.Since(start),
-		Iterations: stats.Iterations,
-		Residual:   stats.Residual,
-	}, nil
+	return e.QueryVectorWS(context.Background(), q, nil)
 }
 
 // solveSchur runs the configured iterative solver on S·r2 = q̃2.
 func (e *Engine) solveSchur(qt2 []float64, cb func(int, []float64)) ([]float64, solver.Stats, error) {
+	return e.solveSchurCtx(context.Background(), qt2, nil, cb)
+}
+
+// solveSchurCtx is solveSchur with a cancellation context threaded into the
+// iterative solver and an optional reusable Krylov workspace. With a
+// workspace, the returned solution points into it and is only valid until
+// the next solve on that workspace.
+func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, ws *solver.Workspace, cb func(int, []float64)) ([]float64, solver.Stats, error) {
 	opts := solver.GMRESOptions{
 		Tol:      e.opts.Tol,
 		MaxIter:  e.opts.MaxIter,
 		Restart:  e.opts.GMRESRestart,
 		Callback: cb,
+		Ctx:      ctx,
+		Work:     ws,
 	}
 	if e.ilu != nil {
 		opts.Precond = e.ilu
@@ -209,29 +150,69 @@ type Ranked struct {
 // RankTopK returns the k nodes with the highest scores, excluding `exclude`
 // (pass a negative value to exclude nothing). Ties break on lower node id.
 func RankTopK(scores []float64, k int, exclude int) []Ranked {
+	return RankTopKFunc(scores, k, func(node int) bool { return node == exclude })
+}
+
+// outranks reports whether a ranks strictly above b: higher score wins,
+// ties break on lower node id.
+func outranks(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
+}
+
+// RankTopKFunc returns the k highest-scoring nodes among those not skipped,
+// in descending order (ties break on lower node id). It maintains a bounded
+// min-heap of k candidates — O(n·log k) instead of the O(n·k)
+// insertion-sort it replaces — and is shared by Engine.TopK and the HTTP
+// handlers' multi-seed rankings. skip may be nil.
+func RankTopKFunc(scores []float64, k int, skip func(node int) bool) []Ranked {
 	if k <= 0 {
 		return nil
 	}
-	// Simple selection: maintain a sorted slice of ≤ k entries (k is small
-	// in practice; avoids pulling in container/heap for clarity).
-	out := make([]Ranked, 0, k+1)
+	// h is a min-heap on the outranks order: h[0] is the weakest candidate
+	// kept so far, the first to be displaced by a better node.
+	h := make([]Ranked, 0, k)
 	for node, s := range scores {
-		if node == exclude {
+		if skip != nil && skip(node) {
 			continue
 		}
-		pos := len(out)
-		for pos > 0 && (out[pos-1].Score < s || (out[pos-1].Score == s && out[pos-1].Node > node)) {
-			pos--
-		}
-		if pos >= k {
+		e := Ranked{Node: node, Score: s}
+		if len(h) < k {
+			h = append(h, e)
+			// Sift up.
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !outranks(h[p], h[i]) {
+					break
+				}
+				h[p], h[i] = h[i], h[p]
+				i = p
+			}
 			continue
 		}
-		out = append(out, Ranked{})
-		copy(out[pos+1:], out[pos:])
-		out[pos] = Ranked{Node: node, Score: s}
-		if len(out) > k {
-			out = out[:k]
+		if !outranks(e, h[0]) {
+			continue
+		}
+		// Replace the weakest and sift down.
+		h[0] = e
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(h) && outranks(h[worst], h[l]) {
+				worst = l
+			}
+			if r < len(h) && outranks(h[worst], h[r]) {
+				worst = r
+			}
+			if worst == i {
+				break
+			}
+			h[i], h[worst] = h[worst], h[i]
+			i = worst
 		}
 	}
-	return out
+	sort.Slice(h, func(i, j int) bool { return outranks(h[i], h[j]) })
+	return h
 }

@@ -89,6 +89,26 @@ func (b *BlockLU) Solve(x []float64) {
 	}
 }
 
+// SolveBatch solves the full block-diagonal system in place on every
+// right-hand side in the batch. Iterating blocks in the outer loop keeps
+// each block's packed factors hot in cache while all K substitutions run,
+// amortizing the factor traffic across the batch the same way
+// sparse.CSR.MulVecBatch amortizes matrix traffic. A batch of one is
+// bit-identical to Solve.
+func (b *BlockLU) SolveBatch(xs [][]float64) {
+	for k, x := range xs {
+		if len(x) != b.N() {
+			panic(fmt.Sprintf("lu: BlockLU.SolveBatch rhs %d length %d want %d", k, len(x), b.N()))
+		}
+	}
+	for i, f := range b.factors {
+		lo, hi := b.offsets[i], b.offsets[i+1]
+		for _, x := range xs {
+			f.LUSolve(x[lo:hi])
+		}
+	}
+}
+
 // SolveT solves the transposed block-diagonal system in place on x.
 func (b *BlockLU) SolveT(x []float64) {
 	if len(x) != b.N() {

@@ -1,0 +1,99 @@
+package qexec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"bepi/internal/core"
+	"bepi/internal/gen"
+)
+
+// benchSeed models serving traffic with a hot set: three quarters of
+// queries go to 16 popular seeds, the rest spread over the graph.
+// Deterministic in i.
+func benchSeed(i, n int) int {
+	if i%4 != 3 {
+		return (i * 7) % 16
+	}
+	return (i * 131) % n
+}
+
+// BenchmarkQexecThroughput compares three execution strategies for the
+// same query stream on the same engine:
+//
+//	naive   — the pre-qexec serving path: every request calls
+//	          Engine.Query directly, allocating all solve temporaries.
+//	pooled  — the qexec pool with cache and batch window disabled:
+//	          reusable workspaces plus opportunistic batching of whatever
+//	          is already queued.
+//	qexec   — the full subsystem: pool + batching + LRU cache with
+//	          singleflight.
+//
+// Run with -benchmem: queries/sec (ns/op) and allocs/op are the acceptance
+// numbers for the subsystem.
+func BenchmarkQexecThroughput(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	e, err := core.Preprocess(g, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := e.N()
+	rank := func(scores []float64, seed int) {
+		if got := core.RankTopK(scores, 10, seed); len(got) == 0 {
+			b.Fail()
+		}
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		var ctr atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				seed := benchSeed(i, n)
+				scores, _, err := e.Query(seed)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rank(scores, seed)
+			}
+		})
+	})
+
+	run := func(b *testing.B, cfg Config) {
+		ex := New(e, cfg)
+		defer ex.Close()
+		var ctr atomic.Int64
+		b.ReportAllocs()
+		// Model several concurrent clients even on few cores so queries
+		// can actually coalesce into multi-RHS batches.
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				i := int(ctr.Add(1))
+				seed := benchSeed(i, n)
+				res, err := ex.Query(ctx, seed)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rank(res.Scores, seed)
+			}
+		})
+		b.StopTimer()
+		m := ex.Metrics()
+		b.ReportMetric(float64(m.CacheHits)/float64(b.N), "hits/op")
+		if m.Batches > 0 {
+			b.ReportMetric(float64(m.Executed)/float64(m.Batches), "batchsz")
+		}
+	}
+
+	// The batch window is a latency-for-throughput trade that only pays
+	// off under concurrent load; disable it here so "pooled" isolates the
+	// workspace-reuse + opportunistic-batching effect.
+	b.Run("pooled", func(b *testing.B) { run(b, Config{CacheEntries: -1, BatchWindow: -1}) })
+	b.Run("qexec", func(b *testing.B) { run(b, Config{}) })
+}

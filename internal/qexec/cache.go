@@ -1,0 +1,64 @@
+package qexec
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache maps seed → score vector with least-recently-used eviction. The
+// cached vectors are handed out shared, so callers treat them as read-only;
+// the engine is immutable after preprocessing, so entries never go stale
+// within one executor's lifetime.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[int]*list.Element
+}
+
+type lruEntry struct {
+	seed   int
+	scores []float64
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[int]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(seed int) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[seed]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).scores, true
+}
+
+func (c *lruCache) put(seed int, scores []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[seed]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).scores = scores
+		return
+	}
+	c.items[seed] = c.ll.PushFront(&lruEntry{seed: seed, scores: scores})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).seed)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,72 @@
+package qexec
+
+import "sync/atomic"
+
+// batchBuckets are the upper bounds of the batch-size histogram buckets:
+// 1, 2, 3–4, 5–8, 9–16, 17+.
+var batchBuckets = []int{1, 2, 4, 8, 16}
+
+// counters is the executor's internal atomic counter set.
+type counters struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	shed      atomic.Int64
+	batches   atomic.Int64
+	executed  atomic.Int64
+	batchHist [6]atomic.Int64
+}
+
+func (c *counters) observeBatch(size int) {
+	c.batches.Add(1)
+	c.executed.Add(int64(size))
+	for i, ub := range batchBuckets {
+		if size <= ub {
+			c.batchHist[i].Add(1)
+			return
+		}
+	}
+	c.batchHist[len(batchBuckets)].Add(1)
+}
+
+// Metrics is a point-in-time snapshot of the executor's counters.
+type Metrics struct {
+	// CacheHits counts queries answered from the LRU cache with no solve.
+	CacheHits int64
+	// CacheMisses counts queries that had to go past the cache (includes
+	// coalesced and personalized queries).
+	CacheMisses int64
+	// Coalesced counts queries that piggybacked on an identical in-flight
+	// solve instead of solving on their own.
+	Coalesced int64
+	// Shed counts requests rejected by admission control (full queue).
+	Shed int64
+	// Batches counts multi-RHS solves executed by the pool.
+	Batches int64
+	// Executed counts queries actually solved (summed batch sizes).
+	Executed int64
+	// BatchSizeHist is the batch-size histogram with bucket upper bounds
+	// 1, 2, 4, 8, 16, +Inf.
+	BatchSizeHist [6]int64
+	// CacheEntries is the current number of cached score vectors.
+	CacheEntries int
+}
+
+// Metrics snapshots the executor's counters.
+func (e *Executor) Metrics() Metrics {
+	m := Metrics{
+		CacheHits:   e.m.hits.Load(),
+		CacheMisses: e.m.misses.Load(),
+		Coalesced:   e.m.coalesced.Load(),
+		Shed:        e.m.shed.Load(),
+		Batches:     e.m.batches.Load(),
+		Executed:    e.m.executed.Load(),
+	}
+	for i := range m.BatchSizeHist {
+		m.BatchSizeHist[i] = e.m.batchHist[i].Load()
+	}
+	if e.cache != nil {
+		m.CacheEntries = e.cache.len()
+	}
+	return m
+}

@@ -1,0 +1,351 @@
+// Package qexec is the query-execution subsystem between the HTTP layer
+// and the BePI engine — the layer that turns "preprocess once, answer many
+// queries fast" into served throughput. It combines:
+//
+//   - a worker pool (sized to GOMAXPROCS by default) where each worker owns
+//     a reusable core.Workspace, so steady-state queries allocate nothing
+//     but their result vectors;
+//   - a batch scheduler that coalesces concurrently-arriving queries into
+//     multi-RHS block-elimination solves (core.Engine.QueryVectorBatch),
+//     amortizing the H11 back-substitutions and the H12/H21/H31/H32 SpMVs
+//     across the batch;
+//   - an LRU score cache with singleflight deduplication, so a hot seed
+//     costs one solve no matter how many requests race for it;
+//   - admission control: a bounded queue that sheds load with
+//     ErrOverloaded when full, and per-query deadlines threaded down into
+//     the iterative Schur solver via context.Context.
+//
+// Counters for all of the above are exposed through Metrics for the
+// server's /metrics endpoint.
+package qexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bepi/internal/core"
+)
+
+// Errors reported by admission control.
+var (
+	// ErrOverloaded means the bounded queue was full; the caller should
+	// shed the request (HTTP 429).
+	ErrOverloaded = errors.New("qexec: queue full, request shed")
+	// ErrClosed means the executor has been shut down.
+	ErrClosed = errors.New("qexec: executor closed")
+)
+
+// Config sizes the executor. Zero values select defaults; CacheEntries < 0
+// disables the cache.
+type Config struct {
+	// Workers is the pool size; default runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxBatch caps how many queries one worker coalesces into a single
+	// multi-RHS solve; default 8.
+	MaxBatch int
+	// BatchWindow is how long a worker holding a non-full batch waits for
+	// more queries to arrive before solving; default 200µs. Zero after
+	// defaulting is allowed via -1: solve immediately, batching only what
+	// is already queued.
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// with ErrOverloaded. Default 4×Workers×MaxBatch.
+	QueueDepth int
+	// CacheEntries bounds the LRU score cache; default 1024, negative
+	// disables caching.
+	CacheEntries int
+	// Timeout, if positive, is the per-query deadline applied on
+	// submission and enforced inside the iterative solver.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	} else if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers * c.MaxBatch
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// request is one query in flight through the pool.
+type request struct {
+	ctx   context.Context
+	q     []float64
+	done  chan struct{}
+	res   []float64
+	stats core.QueryStats
+	err   error
+}
+
+// Result is a completed query: the score vector (shared and read-only when
+// it came from the cache), engine stats, and how the subsystem served it.
+type Result struct {
+	// Scores is indexed by original node id. When Cached is true it is
+	// shared with other callers and MUST NOT be mutated.
+	Scores []float64
+	Stats  core.QueryStats
+	// Cached means the result came from the LRU cache without any solve.
+	Cached bool
+	// Coalesced means this request piggybacked on an identical in-flight
+	// query (singleflight) instead of solving on its own.
+	Coalesced bool
+}
+
+// Executor is the query-execution subsystem over one preprocessed engine.
+// It is safe for concurrent use.
+type Executor struct {
+	eng *core.Engine
+	cfg Config
+
+	reqs chan *request
+	mu   sync.RWMutex // guards closed vs. sends on reqs
+	done bool
+	wg   sync.WaitGroup
+
+	cache *lruCache // nil when disabled
+
+	fmu     sync.Mutex
+	flights map[int]*flight // singleflight per seed
+
+	m counters
+}
+
+// flight is one in-progress single-seed solve that duplicate requests wait
+// on.
+type flight struct {
+	done  chan struct{}
+	res   []float64
+	stats core.QueryStats
+	err   error
+}
+
+// New starts the executor's worker pool over a preprocessed engine.
+// Call Close to stop it.
+func New(eng *core.Engine, cfg Config) *Executor {
+	cfg = cfg.withDefaults()
+	e := &Executor{
+		eng:     eng,
+		cfg:     cfg,
+		reqs:    make(chan *request, cfg.QueueDepth),
+		flights: make(map[int]*flight),
+	}
+	if cfg.CacheEntries > 0 {
+		e.cache = newLRUCache(cfg.CacheEntries)
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Config returns the executor's effective (defaulted) configuration.
+func (e *Executor) Config() Config { return e.cfg }
+
+// Close stops accepting work, lets queued requests drain, and waits for the
+// workers to exit. It is idempotent.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	if e.done {
+		e.mu.Unlock()
+		return
+	}
+	e.done = true
+	close(e.reqs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// worker owns one reusable workspace and runs coalesced batches until the
+// queue closes.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	ws := e.eng.NewWorkspace()
+	batch := make([]*request, 0, e.cfg.MaxBatch)
+	ctxs := make([]context.Context, 0, e.cfg.MaxBatch)
+	qs := make([][]float64, 0, e.cfg.MaxBatch)
+	for r := range e.reqs {
+		batch = append(batch[:0], r)
+		// Take whatever is already queued, then hold the batch open for
+		// the batch window to let concurrent arrivals coalesce.
+	drain:
+		for len(batch) < e.cfg.MaxBatch {
+			select {
+			case r2, ok := <-e.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		if len(batch) < e.cfg.MaxBatch && e.cfg.BatchWindow > 0 {
+			timer := time.NewTimer(e.cfg.BatchWindow)
+		window:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case r2, ok := <-e.reqs:
+					if !ok {
+						break window
+					}
+					batch = append(batch, r2)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+
+		e.m.observeBatch(len(batch))
+		ctxs = ctxs[:0]
+		qs = qs[:0]
+		for _, br := range batch {
+			ctxs = append(ctxs, br.ctx)
+			qs = append(qs, br.q)
+		}
+		res, stats, errs := e.eng.QueryVectorBatch(ctxs, qs, ws)
+		for i, br := range batch {
+			br.res, br.stats, br.err = res[i], stats[i], errs[i]
+			close(br.done)
+		}
+	}
+}
+
+// submit enqueues a query, shedding with ErrOverloaded when the queue is
+// full and ErrClosed after shutdown.
+func (e *Executor) submit(ctx context.Context, q []float64) (*request, error) {
+	r := &request{ctx: ctx, q: q, done: make(chan struct{})}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.done {
+		return nil, ErrClosed
+	}
+	select {
+	case e.reqs <- r:
+		return r, nil
+	default:
+		e.m.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// do runs one query through admission control and the pool, honoring the
+// per-query deadline both while waiting and inside the solver.
+func (e *Executor) do(ctx context.Context, q []float64) ([]float64, core.QueryStats, error) {
+	if e.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
+		defer cancel()
+	}
+	r, err := e.submit(ctx, q)
+	if err != nil {
+		return nil, core.QueryStats{}, err
+	}
+	select {
+	case <-r.done:
+		return r.res, r.stats, r.err
+	case <-ctx.Done():
+		// The worker sees the same context and aborts the solve; the
+		// requester does not wait for it.
+		return nil, core.QueryStats{}, ctx.Err()
+	}
+}
+
+// Query answers a single-seed RWR query: cache hit, coalesce onto an
+// identical in-flight solve, or run through the batched pool.
+func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if seed < 0 || seed >= e.eng.N() {
+		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
+	}
+	if e.cache != nil {
+		if scores, ok := e.cache.get(seed); ok {
+			e.m.hits.Add(1)
+			return Result{Scores: scores, Cached: true}, nil
+		}
+	}
+	e.m.misses.Add(1)
+
+	e.fmu.Lock()
+	if f, ok := e.flights[seed]; ok {
+		e.fmu.Unlock()
+		e.m.coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return Result{}, f.err
+			}
+			return Result{Scores: f.res, Stats: f.stats, Coalesced: true}, nil
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[seed] = f
+	e.fmu.Unlock()
+
+	q := make([]float64, e.eng.N())
+	q[seed] = 1
+	f.res, f.stats, f.err = e.do(ctx, q)
+	if f.err == nil && e.cache != nil {
+		e.cache.put(seed, f.res)
+	}
+	// Remove the flight before signaling so late arrivals miss straight
+	// into the (already populated) cache instead of a dead flight.
+	e.fmu.Lock()
+	delete(e.flights, seed)
+	e.fmu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return Result{}, f.err
+	}
+	return Result{Scores: f.res, Stats: f.stats}, nil
+}
+
+// Personalized answers an arbitrary-distribution PPR query through the
+// batched pool. q must have length N; it is not cached (the key space is
+// unbounded) but still benefits from pooled workspaces and batching.
+func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(q) != e.eng.N() {
+		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), e.eng.N())
+	}
+	e.m.misses.Add(1)
+	scores, stats, err := e.do(ctx, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Scores: scores, Stats: stats}, nil
+}
+
+// TopK returns the k highest-scoring nodes for a seed (seed excluded),
+// served through the cache and pool like Query.
+func (e *Executor) TopK(ctx context.Context, seed, k int) ([]core.Ranked, Result, error) {
+	res, err := e.Query(ctx, seed)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return core.RankTopK(res.Scores, k, seed), res, nil
+}

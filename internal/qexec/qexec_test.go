@@ -1,0 +1,371 @@
+package qexec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/gen"
+)
+
+var (
+	testEngOnce sync.Once
+	testEngine  *core.Engine
+)
+
+// eng returns a shared small preprocessed engine (256-node R-MAT graph).
+func eng(t testing.TB) *core.Engine {
+	t.Helper()
+	testEngOnce.Do(func() {
+		g := gen.RMAT(gen.DefaultRMAT(8, 6, 5))
+		e, err := core.Preprocess(g, core.Options{})
+		if err != nil {
+			t.Fatalf("preprocess: %v", err)
+		}
+		testEngine = e
+	})
+	return testEngine
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d = math.Max(d, math.Abs(a[i]-b[i]))
+	}
+	return d
+}
+
+func TestQueryMatchesEngine(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	defer ex.Close()
+	for _, seed := range []int{0, 7, 100} {
+		res, err := ex.Query(context.Background(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := e.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(res.Scores, want); d > 1e-12 {
+			t.Fatalf("seed %d: executor diverges from engine by %g", seed, d)
+		}
+	}
+}
+
+func TestPersonalizedMatchesEngine(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	defer ex.Close()
+	q := make([]float64, e.N())
+	q[3], q[9] = 0.5, 0.5
+	res, err := ex.Personalized(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := e.QueryVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Scores, want); d > 1e-12 {
+		t.Fatalf("personalized diverges by %g", d)
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	defer ex.Close()
+	if _, err := ex.Query(context.Background(), -1); err == nil {
+		t.Fatal("negative seed should fail")
+	}
+	if _, err := ex.Query(context.Background(), e.N()); err == nil {
+		t.Fatal("out-of-range seed should fail")
+	}
+	if _, err := ex.Personalized(context.Background(), make([]float64, 3)); err == nil {
+		t.Fatal("wrong-length vector should fail")
+	}
+}
+
+// TestCacheHitSkipsSolver is the acceptance check that a repeated hot seed
+// costs no solve: the second query must be served from the cache, visible
+// both on the result and in the hit counter, with the executed-queries
+// counter unchanged.
+func TestCacheHitSkipsSolver(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	defer ex.Close()
+	first, err := ex.Query(context.Background(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first query cannot be a cache hit")
+	}
+	executed := ex.Metrics().Executed
+	second, err := ex.Query(context.Background(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat query should hit the cache")
+	}
+	if second.Stats.Iterations != 0 {
+		t.Fatal("cache hit must not run the iterative solver")
+	}
+	m := ex.Metrics()
+	if m.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", m.CacheHits)
+	}
+	if m.Executed != executed {
+		t.Fatalf("cache hit ran a solve: executed %d -> %d", executed, m.Executed)
+	}
+	if d := maxAbsDiff(first.Scores, second.Scores); d != 0 {
+		t.Fatalf("cached scores differ by %g", d)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{CacheEntries: 2})
+	defer ex.Close()
+	ctx := context.Background()
+	for _, s := range []int{1, 2, 3} { // 1 is evicted by 3
+		if _, err := ex.Query(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := ex.Metrics(); m.CacheEntries != 2 {
+		t.Fatalf("cache entries = %d, want 2", m.CacheEntries)
+	}
+	res, err := ex.Query(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("seed 1 should have been evicted")
+	}
+	res, err = ex.Query(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("seed 3 should still be cached")
+	}
+}
+
+// TestSingleflightCoalesce races many identical queries with the cache
+// disabled: all but the leaders must piggyback on an in-flight solve.
+func TestSingleflightCoalesce(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{CacheEntries: -1})
+	defer ex.Close()
+	const N = 64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = ex.Query(context.Background(), 5)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	m := ex.Metrics()
+	if m.Coalesced == 0 {
+		t.Fatal("no queries coalesced onto the in-flight solve")
+	}
+	if m.Coalesced+m.Executed < N {
+		t.Fatalf("coalesced %d + executed %d < %d submitted", m.Coalesced, m.Executed, N)
+	}
+}
+
+// TestBatchCoalescing checks the batch window actually merges concurrent
+// distinct-seed queries into multi-RHS solves.
+func TestBatchCoalescing(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{
+		Workers:      1,
+		MaxBatch:     8,
+		BatchWindow:  50 * time.Millisecond,
+		CacheEntries: -1,
+	})
+	defer ex.Close()
+	const N = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		go func(seed int) {
+			defer wg.Done()
+			<-start
+			if _, err := ex.Query(context.Background(), seed); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+		}(i * 3)
+	}
+	close(start)
+	wg.Wait()
+	m := ex.Metrics()
+	if m.Batches >= m.Executed {
+		t.Fatalf("no batching happened: %d batches for %d executed queries", m.Batches, m.Executed)
+	}
+}
+
+// TestAdmissionControlSheds floods a deliberately tiny executor with a
+// burst of submissions from one goroutine — far faster than the single
+// worker can drain a queue of depth 1 — and expects load shedding rather
+// than unbounded queueing.
+func TestAdmissionControlSheds(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{
+		Workers:      1,
+		MaxBatch:     1,
+		BatchWindow:  -1,
+		QueueDepth:   1,
+		CacheEntries: -1,
+	})
+	defer ex.Close()
+	const N = 128
+	var accepted []*request
+	var shedSeen int64
+	for i := 0; i < N; i++ {
+		q := make([]float64, e.N())
+		q[i%e.N()] = 1
+		r, err := ex.submit(context.Background(), q)
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			shedSeen++
+		case err != nil:
+			t.Fatalf("submit %d: %v", i, err)
+		default:
+			accepted = append(accepted, r)
+		}
+	}
+	if shedSeen == 0 {
+		t.Fatal("flooding a queue of depth 1 shed nothing")
+	}
+	if got := ex.Metrics().Shed; got != shedSeen {
+		t.Fatalf("shed counter %d, callers saw %d", got, shedSeen)
+	}
+	// The accepted requests still complete.
+	for i, r := range accepted {
+		<-r.done
+		if r.err != nil {
+			t.Fatalf("accepted request %d failed: %v", i, r.err)
+		}
+	}
+}
+
+// TestDeadline checks the per-query timeout propagates as
+// context.DeadlineExceeded.
+func TestDeadline(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{Timeout: time.Nanosecond, CacheEntries: -1})
+	defer ex.Close()
+	_, err := ex.Query(context.Background(), 9)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestClose(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	if _, err := ex.Query(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ex.Close()
+	ex.Close() // idempotent
+	if _, err := ex.Personalized(context.Background(), make([]float64, e.N())); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after shutdown, got %v", err)
+	}
+}
+
+// TestConcurrencyStress hammers the executor from many goroutines with
+// mixed single-seed and personalized traffic, verifying every response
+// against the exact per-query engine answer, then shuts down cleanly. Run
+// under -race this exercises the pooled workspaces, the cache, and the
+// singleflight map.
+func TestConcurrencyStress(t *testing.T) {
+	e := eng(t)
+	const seeds = 12
+	want := make([][]float64, seeds)
+	for s := 0; s < seeds; s++ {
+		r, _, err := e.Query(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[s] = r
+	}
+	wantPPR := make([][]float64, seeds)
+	for s := 0; s < seeds; s++ {
+		q := make([]float64, e.N())
+		q[s], q[(s+13)%e.N()] = 0.5, 0.5
+		r, _, err := e.QueryVector(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPPR[s] = r
+	}
+
+	ex := New(e, Config{MaxBatch: 4, CacheEntries: 8})
+	const workers = 16
+	const opsEach = 40
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsEach; op++ {
+				s := (w*7 + op) % seeds
+				if (w+op)%3 == 0 {
+					q := make([]float64, e.N())
+					q[s], q[(s+13)%e.N()] = 0.5, 0.5
+					res, err := ex.Personalized(context.Background(), q)
+					if err != nil {
+						t.Errorf("personalized %d: %v", s, err)
+						return
+					}
+					if d := maxAbsDiff(res.Scores, wantPPR[s]); d > 1e-12 {
+						t.Errorf("personalized %d diverges by %g", s, d)
+						return
+					}
+				} else {
+					res, err := ex.Query(context.Background(), s)
+					if err != nil {
+						t.Errorf("query %d: %v", s, err)
+						return
+					}
+					if d := maxAbsDiff(res.Scores, want[s]); d > 1e-12 {
+						t.Errorf("query %d diverges by %g", s, d)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ex.Close()
+	m := ex.Metrics()
+	if m.Executed+m.CacheHits+m.Coalesced < workers*opsEach {
+		t.Fatalf("accounting hole: executed %d + hits %d + coalesced %d < %d ops",
+			m.Executed, m.CacheHits, m.Coalesced, workers*opsEach)
+	}
+	if m.CacheHits == 0 {
+		t.Fatal("hot-seed traffic produced no cache hits")
+	}
+}

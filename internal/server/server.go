@@ -1,19 +1,25 @@
 // Package server exposes a preprocessed BePI index over HTTP/JSON — the
 // "many queries against one index" serving shape the paper's preprocessing
-// phase exists for. The handler is stdlib net/http only and safe for
-// concurrent requests (the engine is read-only after preprocessing).
+// phase exists for. The handler is stdlib net/http only; all query traffic
+// runs through the internal/qexec execution subsystem (worker pool with
+// pooled workspaces → batch scheduler → LRU cache + singleflight →
+// admission control), so concurrent requests coalesce, hot seeds hit the
+// cache, and overload sheds with 429 instead of piling up goroutines.
 //
 // Endpoints:
 //
 //	GET  /healthz                          liveness probe
 //	GET  /stats                            index statistics
+//	GET  /metrics                          traffic + qexec counters
 //	GET  /query?seed=N&topk=K              top-K ranking for a seed
 //	GET  /query?seed=N&full=true           the full score vector
 //	POST /personalized {"weights":{...}}   multi-seed PPR ranking
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -21,12 +27,16 @@ import (
 	"time"
 
 	"bepi"
+	"bepi/internal/core"
+	"bepi/internal/qexec"
 )
 
-// Server is an http.Handler serving RWR queries from one engine.
+// Server is an http.Handler serving RWR queries from one engine through a
+// qexec.Executor.
 type Server struct {
-	eng *bepi.Engine
-	mux *http.ServeMux
+	eng  *bepi.Engine
+	exec *qexec.Executor
+	mux  *http.ServeMux
 
 	// Served-traffic counters (atomic; exposed at /metrics).
 	queries      atomic.Int64
@@ -35,9 +45,18 @@ type Server struct {
 	queryNanos   atomic.Int64
 }
 
-// New builds a server over a preprocessed engine.
-func New(eng *bepi.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// New builds a server over a preprocessed engine with default execution
+// settings. Call Close to stop the execution pool.
+func New(eng *bepi.Engine) *Server { return NewWithConfig(eng, qexec.Config{}) }
+
+// NewWithConfig builds a server with explicit query-execution settings
+// (pool size, batch window, cache entries, queue depth, per-query timeout).
+func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
+	s := &Server{
+		eng:  eng,
+		exec: qexec.New(eng.Internal(), cfg),
+		mux:  http.NewServeMux(),
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -45,6 +64,13 @@ func New(eng *bepi.Engine) *Server {
 	s.mux.HandleFunc("/personalized", s.handlePersonalized)
 	return s
 }
+
+// Executor exposes the execution subsystem (for tests and shutdown hooks).
+func (s *Server) Executor() *qexec.Executor { return s.exec }
+
+// Close drains and stops the query-execution pool. In-flight requests
+// finish; new ones fail with 503.
+func (s *Server) Close() { s.exec.Close() }
 
 // MetricsResponse is the /metrics payload.
 type MetricsResponse struct {
@@ -55,6 +81,16 @@ type MetricsResponse struct {
 	IndexBytes      int64   `json:"index_bytes"`
 	PreprocessMS    float64 `json:"preprocess_ms"`
 	QueriesPerIndex float64 `json:"queries_per_preprocess"`
+
+	// Query-execution subsystem counters.
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheEntries  int     `json:"cache_entries"`
+	Coalesced     int64   `json:"coalesced"`
+	Shed          int64   `json:"shed"`
+	Batches       int64   `json:"batches"`
+	Executed      int64   `json:"executed"`
+	BatchSizeHist []int64 `json:"batch_size_hist"` // buckets ≤1, ≤2, ≤4, ≤8, ≤16, +Inf
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +104,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if prepMS > 0 {
 		ratio = float64(q) * avg / prepMS
 	}
+	xm := s.exec.Metrics()
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Queries:         s.queries.Load(),
 		Personalized:    s.personalized.Load(),
@@ -76,6 +113,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		IndexBytes:      s.eng.MemoryBytes(),
 		PreprocessMS:    prepMS,
 		QueriesPerIndex: ratio,
+		CacheHits:       xm.CacheHits,
+		CacheMisses:     xm.CacheMisses,
+		CacheEntries:    xm.CacheEntries,
+		Coalesced:       xm.Coalesced,
+		Shed:            xm.Shed,
+		Batches:         xm.Batches,
+		Executed:        xm.Executed,
+		BatchSizeHist:   xm.BatchSizeHist[:],
 	})
 }
 
@@ -97,6 +142,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
 	s.errors.Add(1)
 	writeError(w, status, format, args...)
+}
+
+// failQuery maps an execution error to the right status: shed load is 429,
+// deadline/shutdown are 503, anything else is a 500.
+func (s *Server) failQuery(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, qexec.ErrOverloaded):
+		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusServiceUnavailable, "query deadline exceeded")
+	case errors.Is(err, qexec.ErrClosed), errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusServiceUnavailable, "server shutting down: %v", err)
+	default:
+		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -153,6 +213,7 @@ type QueryResponse struct {
 	Scores     []float64     `json:"scores,omitempty"`
 	Iterations int           `json:"iterations"`
 	DurationMS float64       `json:"duration_ms"`
+	Cached     bool          `json:"cached,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -179,26 +240,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	scores, st, err := s.eng.QueryWithStats(seed)
+	res, err := s.exec.Query(r.Context(), seed)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+		s.failQuery(w, err)
 		return
 	}
 	s.queries.Add(1)
 	s.queryNanos.Add(time.Since(start).Nanoseconds())
 	resp := QueryResponse{
 		Seed:       seed,
-		Iterations: st.Iterations,
+		Iterations: res.Stats.Iterations,
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
+		Cached:     res.Cached,
 	}
 	if r.URL.Query().Get("full") == "true" {
-		resp.Scores = scores
+		resp.Scores = res.Scores
 	} else {
-		top, err := s.eng.TopK(seed, topk)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "ranking failed: %v", err)
-			return
-		}
+		// One solve serves both the scores and the ranking; the cached
+		// vector is ranked without touching the engine again.
+		top := core.RankTopK(res.Scores, topk, seed)
 		resp.Top = make([]RankedEntry, len(top))
 		for i, t := range top {
 			resp.Top[i] = RankedEntry{Node: t.Node, Score: t.Score}
@@ -221,11 +281,11 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 	}
 	var req PersonalizedRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
 	if len(req.Weights) == 0 {
-		writeError(w, http.StatusBadRequest, "weights must be non-empty")
+		s.fail(w, http.StatusBadRequest, "weights must be non-empty")
 		return
 	}
 	q := make([]float64, s.eng.N())
@@ -234,11 +294,11 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 	for k, v := range req.Weights {
 		node, err := strconv.Atoi(k)
 		if err != nil || node < 0 || node >= s.eng.N() {
-			writeError(w, http.StatusBadRequest, "bad node id %q", k)
+			s.fail(w, http.StatusBadRequest, "bad node id %q", k)
 			return
 		}
 		if v < 0 {
-			writeError(w, http.StatusBadRequest, "negative weight for node %s", k)
+			s.fail(w, http.StatusBadRequest, "negative weight for node %s", k)
 			return
 		}
 		q[node] += v
@@ -246,7 +306,7 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		seeds[node] = true
 	}
 	if sum <= 0 {
-		writeError(w, http.StatusBadRequest, "weights must sum to a positive value")
+		s.fail(w, http.StatusBadRequest, "weights must sum to a positive value")
 		return
 	}
 	for i := range q {
@@ -257,34 +317,23 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		topk = 10
 	}
 	start := time.Now()
-	scores, err := s.eng.Personalized(q)
+	res, err := s.exec.Personalized(r.Context(), q)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+		s.failQuery(w, err)
 		return
 	}
 	s.personalized.Add(1)
 	s.queryNanos.Add(time.Since(start).Nanoseconds())
-	var top []RankedEntry
-	for node, sc := range scores {
-		if seeds[node] || sc <= 0 {
-			continue
-		}
-		pos := len(top)
-		for pos > 0 && top[pos-1].Score < sc {
-			pos--
-		}
-		if pos >= topk {
-			continue
-		}
-		top = append(top, RankedEntry{})
-		copy(top[pos+1:], top[pos:])
-		top[pos] = RankedEntry{Node: node, Score: sc}
-		if len(top) > topk {
-			top = top[:topk]
-		}
+	scores := res.Scores
+	top := core.RankTopKFunc(scores, topk, func(node int) bool {
+		return seeds[node] || scores[node] <= 0
+	})
+	entries := make([]RankedEntry, len(top))
+	for i, t := range top {
+		entries[i] = RankedEntry{Node: t.Node, Score: t.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"top":         top,
+		"top":         entries,
 		"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
 	})
 }

@@ -15,13 +15,14 @@ import (
 func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error) {
 	opts = opts.withDefaults()
 	n := len(b)
-	x := make([]float64, n)
+	ar := newArena(opts.Work, n)
+	x := ar.takeZero()
 	if n == 0 {
 		return x, Stats{Converged: true}, nil
 	}
 	var stats Stats
 
-	t := make([]float64, n)
+	t := ar.take()
 	opts.Precond.Apply(t, b)
 	normB := vec.Norm2(t)
 	if normB == 0 {
@@ -29,16 +30,16 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 	}
 
 	// r = M⁻¹(b − A·x) = M⁻¹b for x = 0.
-	r := make([]float64, n)
+	r := ar.take()
 	copy(r, t)
-	rhat := make([]float64, n) // shadow residual, fixed
+	rhat := ar.take() // shadow residual, fixed
 	copy(rhat, r)
 	var rho, alpha, omega float64 = 1, 1, 1
-	v := make([]float64, n)
-	p := make([]float64, n)
-	s := make([]float64, n)
-	tv := make([]float64, n)
-	scratch := make([]float64, n)
+	v := ar.takeZero()
+	p := ar.takeZero()
+	s := ar.take()
+	tv := ar.take()
+	scratch := ar.take()
 
 	applyA := func(dst, src []float64) {
 		a.MulVec(scratch, src)
@@ -46,6 +47,9 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 	}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := opts.ctxErr(); err != nil {
+			return x, stats, fmt.Errorf("solver: aborted after %d iterations: %w", stats.Iterations, err)
+		}
 		rhoNew := vec.Dot(rhat, r)
 		if rhoNew == 0 {
 			return x, stats, fmt.Errorf("solver: BiCGSTAB breakdown (rho=0) at iteration %d: %w",

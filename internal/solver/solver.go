@@ -6,6 +6,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,23 @@ type GMRESOptions struct {
 	// Arnoldi step. Assembling the iterate costs a triangular solve and a
 	// basis combination per step; intended for accuracy experiments.
 	Callback func(iter int, x []float64)
+	// Ctx, if non-nil, is checked once per iteration; when it is done the
+	// solve aborts with an error wrapping ctx.Err(). This is how per-query
+	// deadlines reach the innermost loop of the serving path.
+	Ctx context.Context
+	// Work, if non-nil, supplies the solve's vector buffers from a
+	// reusable arena instead of fresh allocations. The returned solution
+	// then points into Work and is only valid until the next solve that
+	// uses it.
+	Work *Workspace
+}
+
+// ctxErr reports the options' context error, or nil without a context.
+func (o GMRESOptions) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
@@ -83,7 +101,8 @@ func (o GMRESOptions) withDefaults() GMRESOptions {
 func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error) {
 	opts = opts.withDefaults()
 	n := len(b)
-	x := make([]float64, n)
+	ar := newArena(opts.Work, n)
+	x := ar.takeZero()
 	if n == 0 {
 		return x, Stats{Converged: true}, nil
 	}
@@ -93,19 +112,22 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 	}
 
 	var stats Stats
-	t := make([]float64, n) // M⁻¹ b
+	t := ar.take() // M⁻¹ b
 	opts.Precond.Apply(t, b)
 	normT := vec.Norm2(t)
 	if normT == 0 {
 		return x, Stats{Converged: true}, nil
 	}
 
-	scratch := make([]float64, n)
+	scratch := ar.take()
 	for stats.Iterations < opts.MaxIter {
+		if err := opts.ctxErr(); err != nil {
+			return x, stats, fmt.Errorf("solver: aborted after %d iterations: %w", stats.Iterations, err)
+		}
 		// Residual of the current iterate in the preconditioned norm.
 		a.MulVec(scratch, x)
 		vec.Sub(scratch, b, scratch) // b − A·x
-		z := make([]float64, n)
+		z := ar.take()
 		opts.Precond.Apply(z, scratch)
 		beta := vec.Norm2(z)
 		stats.Residual = beta / normT
@@ -131,7 +153,11 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 		converged := false
 		steps := 0
 		for j := 0; j < m; j++ {
-			w := make([]float64, n)
+			if err := opts.ctxErr(); err != nil {
+				x = assemble(ar, x, v, h, g, steps)
+				return x, stats, fmt.Errorf("solver: aborted after %d iterations: %w", stats.Iterations, err)
+			}
+			w := ar.take()
 			a.MulVec(scratch, v[j])
 			opts.Precond.Apply(w, scratch)
 			// Modified Gram-Schmidt.
@@ -162,7 +188,7 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 			steps = j + 1
 			stats.Residual = math.Abs(g[j+1]) / normT
 			if opts.Callback != nil {
-				xj := assemble(x, v, h, g, steps)
+				xj := assemble(arena{n: n}, x, v, h, g, steps)
 				opts.Callback(stats.Iterations, xj)
 			}
 			if stats.Residual <= opts.Tol || breakdown {
@@ -171,7 +197,7 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 			}
 		}
 		// Update x with the minimizer over the Krylov space built so far.
-		x = assemble(x, v, h, g, steps)
+		x = assemble(ar, x, v, h, g, steps)
 		if converged {
 			stats.Converged = true
 			return x, stats, nil
@@ -182,8 +208,9 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 }
 
 // assemble returns x + V·y where R·y = g is the triangular least-squares
-// system accumulated by the Givens rotations (first `steps` columns).
-func assemble(x []float64, v [][]float64, h [][]float64, g []float64, steps int) []float64 {
+// system accumulated by the Givens rotations (first `steps` columns). The
+// result vector comes from the arena (a fresh allocation without one).
+func assemble(ar arena, x []float64, v [][]float64, h [][]float64, g []float64, steps int) []float64 {
 	y := make([]float64, steps)
 	for i := steps - 1; i >= 0; i-- {
 		s := g[i]
@@ -197,7 +224,7 @@ func assemble(x []float64, v [][]float64, h [][]float64, g []float64, steps int)
 		}
 		y[i] = s / h[i][i]
 	}
-	out := make([]float64, len(x))
+	out := ar.take()
 	copy(out, x)
 	for k := 0; k < steps; k++ {
 		vec.AXPY(y[k], v[k], out)

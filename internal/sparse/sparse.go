@@ -250,6 +250,38 @@ func (m *CSR) MulVec(dst, x []float64) {
 	}
 }
 
+// MulVecBatch computes dst[k] = M·x[k] for every right-hand side in the
+// batch, traversing the matrix row by row so that each row's indices and
+// values are read once from memory and reused across all K vectors. For the
+// memory-bound SpMV this amortizes the matrix traffic over the batch, which
+// is what makes multi-seed query batching pay off. dst and x must hold
+// equally many vectors with the same per-vector dimension rules as MulVec.
+// A batch of one is bit-identical to MulVec.
+func (m *CSR) MulVecBatch(dst, x [][]float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("sparse: MulVecBatch got %d dst vectors for %d rhs", len(dst), len(x)))
+	}
+	for k := range x {
+		if len(dst[k]) != m.rows || len(x[k]) != m.cols {
+			panic(fmt.Sprintf("sparse: MulVecBatch dims dst=%d x=%d want %d,%d",
+				len(dst[k]), len(x[k]), m.rows, m.cols))
+		}
+	}
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.col[lo:hi]
+		vals := m.val[lo:hi]
+		for k := range x {
+			xk := x[k]
+			var s float64
+			for p, j := range cols {
+				s += vals[p] * xk[j]
+			}
+			dst[k][i] = s
+		}
+	}
+}
+
 // MulVecT computes dst = Mᵀ·x without materializing the transpose.
 // dst must have length Cols and x length Rows; they must not alias.
 func (m *CSR) MulVecT(dst, x []float64) {
