@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+.PHONY: build test race race-par vet check bench bench-par
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,22 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Focused, repeated race pass over the parallel runtime and the kernels
+# built on it — including the stress test of concurrent engine builds
+# sharing one pool, where interleavings vary run to run.
+race-par:
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested' \
+		./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/
+
 # The CI gate: everything must build, vet clean, and pass under the race
-# detector.
-check: vet race
+# detector, with an extra repeated pass over the parallel kernels.
+check: vet race race-par
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkQexecThroughput -benchmem ./internal/qexec/
+
+# Serial-vs-parallel kernel benchmarks (Schur build, H11 factorization,
+# SpMV) across worker counts; compare the workers=1 and workers=N lines.
+bench-par:
+	$(GO) test -run '^$$' -bench 'BenchmarkSchurComplement|BenchmarkFactorBlockDiag' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkParallelMulVec -benchmem ./internal/sparse/

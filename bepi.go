@@ -188,6 +188,14 @@ func WithDeadline(d time.Duration) Option {
 	return func(o *core.Options) { o.Deadline = d }
 }
 
+// WithParallelism caps how many cores preprocessing and the query kernels
+// use: 0 (default) shares a process-wide GOMAXPROCS-sized pool with every
+// other engine, 1 forces serial execution, n > 1 gives the engine its own
+// n-worker pool. Results are bit-identical at every setting.
+func WithParallelism(n int) Option {
+	return func(o *core.Options) { o.Parallelism = n }
+}
+
 // Engine is a preprocessed RWR index. It is safe for concurrent queries.
 type Engine struct {
 	inner *core.Engine
@@ -262,6 +270,12 @@ func (e *Engine) TopK(seed, k int) ([]Ranked, error) {
 
 // MemoryBytes reports the footprint of the preprocessed index.
 func (e *Engine) MemoryBytes() int64 { return e.inner.MemoryBytes() }
+
+// SetParallelism re-points the engine at a compute pool for the given
+// parallelism level (same semantics as WithParallelism). Indexes loaded
+// with Load start on the shared pool; call this before serving queries —
+// it must not race with them.
+func (e *Engine) SetParallelism(n int) { e.inner.SetParallelism(n) }
 
 // PreprocessTime reports how long preprocessing took.
 func (e *Engine) PreprocessTime() time.Duration { return e.inner.PrepStats().Total }

@@ -47,14 +47,16 @@ func main() {
 	tol := fs.Float64("tol", 1e-9, "solver tolerance")
 	memBudget := fs.Int64("mem-budget", 0, "preprocessing memory budget in bytes (0 = size default)")
 	deadline := fs.Duration("deadline", 0, "preprocessing deadline (0 = size default)")
+	parallelism := fs.Int("parallelism", 0, "worker cap for preprocessing kernels (0 = all cores, 1 = serial)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	cfg := bench.Config{
-		Size:  bench.Size(*size),
-		Seeds: *seeds,
-		Tol:   *tol,
+		Size:        bench.Size(*size),
+		Seeds:       *seeds,
+		Tol:         *tol,
+		Parallelism: *parallelism,
 		Budget: method.Budget{
 			Memory:   *memBudget,
 			Deadline: *deadline,
@@ -133,6 +135,7 @@ flags:
   -tol ε                  solver tolerance (default 1e-9)
   -mem-budget BYTES       preprocessing memory budget
   -deadline DUR           preprocessing deadline (e.g. 120s)
+  -parallelism N          kernel worker cap (0 = all cores, 1 = serial)
   -csv DIR                also write tables as CSV
 `, strings.Join(names, " "))
 }

@@ -40,6 +40,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "admission queue bound; excess requests get 429 (0 = default 4×workers×batch-max)")
 	cacheEntries := flag.Int("cache-entries", 0, "LRU score-cache capacity (0 = default 1024, negative disables)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline enforced inside the solver (0 = none)")
+	parallelism := flag.Int("parallelism", 0, "per-solve kernel worker cap (0 = keep engine default, 1 = serial kernels)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 	if *indexPath == "" {
@@ -66,6 +67,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		Timeout:      *queryTimeout,
+		Parallelism:  *parallelism,
 	})
 	cfg := handler.Executor().Config()
 	log.Printf("qexec: %d workers, batch ≤%d within %v, queue %d, cache %d entries, timeout %v",

@@ -53,7 +53,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bepi preprocess -graph <edge-list> -index <out> [-c 0.05] [-tol 1e-9] [-k 0.2] [-variant bepi|bepi-s|bepi-b]
+  bepi preprocess -graph <edge-list> -index <out> [-c 0.05] [-tol 1e-9] [-k 0.2] [-variant bepi|bepi-s|bepi-b] [-parallelism 0]
   bepi query      -index <idx> -seed <node> [-topk 10] [-all]
   bepi stats      -index <idx>
   bepi verify     -graph <edge-list> [-seeds 10] [-tol 1e-9]`)
@@ -88,6 +88,7 @@ func cmdPreprocess(args []string) error {
 	tol := fs.Float64("tol", core.DefaultTol, "solver tolerance")
 	k := fs.Float64("k", 0, "hub selection ratio (0 = paper default)")
 	variant := fs.String("variant", "bepi", "bepi | bepi-s | bepi-b")
+	parallelism := fs.Int("parallelism", 0, "worker cap for preprocessing kernels (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,7 +99,7 @@ func cmdPreprocess(args []string) error {
 	if err != nil {
 		return fmt.Errorf("loading graph: %w", err)
 	}
-	opts := []bepi.Option{bepi.WithRestartProb(*c), bepi.WithTolerance(*tol)}
+	opts := []bepi.Option{bepi.WithRestartProb(*c), bepi.WithTolerance(*tol), bepi.WithParallelism(*parallelism)}
 	if *k > 0 {
 		opts = append(opts, bepi.WithHubRatio(*k))
 	}
@@ -132,8 +133,8 @@ func cmdPreprocess(args []string) error {
 		bench.FmtDuration(eng.PreprocessTime()), *indexPath,
 		bench.FmtBytes(eng.MemoryBytes()))
 	st := eng.Internal().PrepStats()
-	fmt.Printf("phases: reorder %s, build H %s, factor H11 %s, Schur %s, ILU %s\n",
-		bench.FmtDuration(st.Reorder), bench.FmtDuration(st.BuildH),
+	fmt.Printf("phases (%d workers): reorder %s, build H %s, factor H11 %s, Schur %s, ILU %s\n",
+		st.Workers, bench.FmtDuration(st.Reorder), bench.FmtDuration(st.BuildH),
 		bench.FmtDuration(st.FactorH11), bench.FmtDuration(st.Schur),
 		bench.FmtDuration(st.ILU))
 	return nil

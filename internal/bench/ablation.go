@@ -167,7 +167,7 @@ func AblationMonteCarlo(cfg Config) ([]*Table, error) {
 		datasets = datasets[:2]
 	}
 	for di, d := range datasets {
-		e, err := core.Preprocess(d.G, core.Options{Tol: cfg.Tol})
+		e, err := core.Preprocess(d.G, core.Options{Tol: cfg.Tol, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", d.Name, err)
 		}

@@ -97,6 +97,9 @@ type Config struct {
 	Size  Size
 	Seeds int // query seeds per dataset (paper: 30)
 	Tol   float64
+	// Parallelism caps preprocessing/kernel workers (0 = shared
+	// GOMAXPROCS pool, 1 = serial).
+	Parallelism int
 	// Budget bounds preprocessing; zero values scale with Size (see
 	// withDefaults).
 	Budget method.Budget
@@ -144,7 +147,7 @@ func (c Config) withDefaults() Config {
 
 // methodConfig converts the harness config into a method config.
 func (c Config) methodConfig() method.Config {
-	return method.Config{Tol: c.Tol, Budget: c.Budget}
+	return method.Config{Tol: c.Tol, Parallelism: c.Parallelism, Budget: c.Budget}
 }
 
 // Outcome classifies how a method fared on a dataset.

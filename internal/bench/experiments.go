@@ -37,7 +37,37 @@ func Experiments() []Experiment {
 		{"fig10", "Figure 10 (App. I): L2 error vs iterations on a small graph", Fig10},
 		{"fig11", "Figure 11 (App. J): BePI vs Bear head to head", Fig11},
 		{"fig12", "Figure 12 (App. K): total running time (preprocessing + 30 queries)", Fig12},
+		{"prepstages", "Beyond paper: per-stage preprocessing wall times and parallel worker count", PrepStages},
 	}
+}
+
+// PrepStages breaks preprocessing time down by stage (reorder, build H,
+// factor H11, Schur, ILU) per dataset and reports the effective parallel
+// worker count, so kernel-level speedups from -parallelism are visible per
+// stage rather than only in the total.
+func PrepStages(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:  "Preprocessing stage timings (full BePI)",
+		Note:   "wall time per Algorithm 1/3 stage; workers = engine pool size (-parallelism)",
+		Header: []string{"dataset", "workers", "reorder", "build H", "factor H11", "Schur", "ILU", "total"},
+	}
+	for _, d := range Suite(cfg.Size) {
+		e, err := core.Preprocess(d.G, core.Options{
+			Variant: core.VariantFull, Tol: cfg.Tol, Parallelism: cfg.Parallelism,
+			MemoryBudget: cfg.Budget.Memory, Deadline: cfg.Budget.Deadline,
+		})
+		if err != nil {
+			t.AddRow(d.Name, classifyCell(err), "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		st := e.PrepStats()
+		t.AddRow(d.Name, fmt.Sprintf("%d", st.Workers),
+			FmtDuration(st.Reorder), FmtDuration(st.BuildH),
+			FmtDuration(st.FactorH11), FmtDuration(st.Schur),
+			FmtDuration(st.ILU), FmtDuration(st.Total))
+	}
+	return []*Table{t}, nil
 }
 
 // FindExperiment looks an experiment up by name, searching both the paper
@@ -133,7 +163,7 @@ func Table3(cfg Config) ([]*Table, error) {
 
 func schurNNZCell(d Dataset, v core.Variant, k float64, cfg Config) (string, int) {
 	e, err := core.Preprocess(d.G, core.Options{
-		Variant: v, HubRatio: k, Tol: cfg.Tol,
+		Variant: v, HubRatio: k, Tol: cfg.Tol, Parallelism: cfg.Parallelism,
 		MemoryBudget: cfg.Budget.Memory, Deadline: cfg.Budget.Deadline,
 	})
 	if err != nil {
@@ -338,7 +368,7 @@ func Fig7(cfg Config) ([]*Table, error) {
 		datasets = datasets[:3]
 	}
 	for _, d := range datasets {
-		e, err := core.Preprocess(d.G, core.Options{Variant: core.VariantFull, Tol: cfg.Tol})
+		e, err := core.Preprocess(d.G, core.Options{Variant: core.VariantFull, Tol: cfg.Tol, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", d.Name, err)
 		}
@@ -434,7 +464,7 @@ func Fig10(cfg Config) ([]*Table, error) {
 		last[name][si] = errNorm
 	}
 
-	e, err := core.Preprocess(g, core.Options{Variant: core.VariantFull, Tol: cfg.Tol})
+	e, err := core.Preprocess(g, core.Options{Variant: core.VariantFull, Tol: cfg.Tol, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 
 	"bepi/internal/graph"
 	"bepi/internal/lu"
+	"bepi/internal/par"
 	"bepi/internal/reorder"
 	"bepi/internal/sparse"
 )
@@ -86,6 +87,12 @@ type Options struct {
 	// Deadline, if positive, aborts preprocessing with ErrDeadline once
 	// exceeded. Models the paper's 24-hour preprocessing timeout.
 	Deadline time.Duration
+	// Parallelism caps how many cores preprocessing and the query kernels
+	// use. Zero (default) shares the process-wide GOMAXPROCS-sized pool
+	// with every other engine; 1 forces serial execution; n > 1 gives the
+	// engine its own n-worker pool. Parallel and serial execution produce
+	// bit-identical results.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +156,9 @@ type PrepStats struct {
 	Blocks     int
 	SchurNNZ   int
 	HubRatio   float64
+	// Workers is the effective parallel worker count the engine's pool
+	// admits (1 = serial).
+	Workers int
 }
 
 // QueryStats records the cost of one RWR query.
@@ -170,8 +180,46 @@ type Engine struct {
 	h11LU              *lu.BlockLU
 	ilu                *lu.ILU // nil unless VariantFull
 
+	pool *par.Pool // compute pool for kernels; nil means serial
 	prep PrepStats
 }
+
+// poolFor resolves the Parallelism option to a pool: 0 shares the
+// process-wide pool, 1 is serial (nil pool), n > 1 is a dedicated pool.
+func poolFor(parallelism int) *par.Pool {
+	switch {
+	case parallelism == 1:
+		return nil
+	case parallelism > 1:
+		return par.NewPool(parallelism)
+	default:
+		return par.Shared()
+	}
+}
+
+// attachPool points every stored matrix at the engine's pool so the
+// query-path SpMVs row-partition across it.
+func (e *Engine) attachPool() {
+	for _, m := range []*sparse.CSR{e.h12, e.h21, e.h31, e.h32, e.schur} {
+		if m != nil {
+			m.SetPool(e.pool)
+		}
+	}
+	e.prep.Workers = e.pool.Workers()
+}
+
+// SetParallelism re-points the engine (and its matrices) at a pool for the
+// given parallelism level, using the same resolution as
+// Options.Parallelism. It is meant for right after loading a saved index;
+// it must not race with in-flight queries.
+func (e *Engine) SetParallelism(n int) {
+	e.opts.Parallelism = n
+	e.pool = poolFor(n)
+	e.attachPool()
+}
+
+// Pool exposes the engine's compute pool (nil means serial).
+func (e *Engine) Pool() *par.Pool { return e.pool }
 
 // Preprocess runs Algorithm 1/3 on the graph and returns a query-ready
 // engine.
@@ -185,9 +233,10 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil
 	}
 
-	e := &Engine{opts: opts, n: g.N()}
+	e := &Engine{opts: opts, n: g.N(), pool: poolFor(opts.Parallelism)}
 	e.prep.N, e.prep.M = g.N(), g.M()
 	e.prep.HubRatio = opts.HubRatio
+	e.prep.Workers = e.pool.Workers()
 
 	// 1. Node reordering: deadends to the tail, SlashBurn on the rest.
 	t0 := time.Now()
@@ -215,10 +264,10 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 
-	// 3. Per-block LU of the block-diagonal H11.
+	// 3. Per-block LU of the block-diagonal H11, blocks in parallel.
 	t0 = time.Now()
 	var err error
-	e.h11LU, err = lu.FactorBlockDiag(h11, e.ord.Blocks)
+	e.h11LU, err = lu.FactorBlockDiagPool(h11, e.ord.Blocks, e.pool)
 	if err != nil {
 		return nil, fmt.Errorf("core: factoring H11: %w", err)
 	}
@@ -230,9 +279,12 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, err
 	}
 
-	// 4. Schur complement S = H22 − H21·H11⁻¹·H12.
+	// 4. Schur complement S = H22 − H21·H11⁻¹·H12, columns in parallel.
+	// The engine already needs column views of H12/H21, so it builds the
+	// transposes once here and hands them in instead of letting
+	// SchurComplement rebuild them.
 	t0 = time.Now()
-	e.schur = SchurComplement(h22, e.h21, e.h12, e.h11LU)
+	e.schur = SchurComplementT(h22, e.h21.Transpose(), e.h12.Transpose(), e.h11LU, e.pool)
 	e.prep.Schur = time.Since(t0)
 	e.prep.SchurNNZ = e.schur.NNZ()
 	if err := deadline(); err != nil {
@@ -252,6 +304,7 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	if opts.MemoryBudget > 0 && e.MemoryBytes() > opts.MemoryBudget {
 		return nil, fmt.Errorf("preprocessed data needs %d bytes: %w", e.MemoryBytes(), ErrMemoryBudget)
 	}
+	e.attachPool()
 	return e, nil
 }
 
@@ -288,50 +341,105 @@ func BuildH(g *graph.Graph, perm []int, c float64) *sparse.CSR {
 
 // SchurComplement computes S = H22 − H21·H11⁻¹·H12 column by column,
 // exploiting the block-diagonal H11: each H12 column only activates the
-// blocks it touches.
+// blocks it touches. It builds the column views (transposes) of H12/H21
+// itself and runs serially; callers that already hold the transposes — the
+// engine builds them once during preprocessing — should use
+// SchurComplementT directly.
 func SchurComplement(h22, h21, h12 *sparse.CSR, h11LU *lu.BlockLU) *sparse.CSR {
-	n2 := h22.Rows()
-	// Column access to H12 via its transpose; column access to H21 likewise.
-	h12T := h12.Transpose() // n2 × n1: row j = column j of H12
-	h21T := h21.Transpose() // n1 × n2: row i = column i of H21
-	scratch := make([]float64, maxInt(h11LU.MaxBlockSize(), 1))
+	return SchurComplementT(h22, h21.Transpose(), h12.Transpose(), h11LU, nil)
+}
 
-	// Build Sᵀ row by row (row j of Sᵀ = column j of S), then transpose.
-	acc := make([]float64, n2)
-	mark := make([]int, n2)
-	for i := range mark {
-		mark[i] = -1
+// schurScratch is the per-worker state of a parallel Schur build: a dense
+// accumulator with last-touched column marks, a substitution scratch
+// vector, and a COO shard collecting the worker's −H21·H11⁻¹·H12 entries.
+type schurScratch struct {
+	acc     []float64
+	mark    []int
+	scratch []float64
+	touched []int
+	coo     *sparse.COO
+}
+
+// SchurComplementT is SchurComplement over the pre-transposed column views
+// h21T (n1×n2, row i = column i of H21) and h12T (n2×n1, row j = column j
+// of H12), with the n2 columns partitioned across the pool. Each worker
+// accumulates its columns with the serial algorithm into a private
+// accumulator and COO shard; shards merge in deterministic chunk order.
+// Per-column accumulation order is unchanged and every (i, j) entry is
+// produced exactly once, so the result is bit-identical to the serial path
+// at any worker count. A nil pool runs serially.
+func SchurComplementT(h22, h21T, h12T *sparse.CSR, h11LU *lu.BlockLU, pool *par.Pool) *sparse.CSR {
+	n2 := h22.Rows()
+	parts := pool.Workers()
+	if parts > 1 && n2 < 2 {
+		parts = 1
 	}
-	coo := sparse.NewCOO(n2, n2)
-	coo.Reserve(h22.NNZ())
-	var touched []int
-	for j := 0; j < n2; j++ {
-		touched = touched[:0]
-		// y = H21 · (H11⁻¹ · H12[:,j]), accumulated sparsely.
-		s, e := h12T.RowRange(j)
-		idx := h12T.ColIdx()[s:e]
-		vals := h12T.Values()[s:e]
-		h11LU.SolveSparse(idx, vals, scratch, func(row int, x float64) {
-			rs, re := h21T.RowRange(row)
-			cols := h21T.ColIdx()[rs:re]
-			vs := h21T.Values()[rs:re]
-			for p, i := range cols {
-				if mark[i] != j {
-					mark[i] = j
-					acc[i] = 0
-					touched = append(touched, i)
+	arena := par.NewArena(parts, func() *schurScratch {
+		mark := make([]int, n2)
+		for i := range mark {
+			mark[i] = -1
+		}
+		return &schurScratch{
+			acc:     make([]float64, n2),
+			mark:    mark,
+			scratch: make([]float64, maxInt(h11LU.MaxBlockSize(), 1)),
+			coo:     sparse.NewCOO(n2, n2),
+		}
+	})
+
+	// Build Sᵀ row by row (row j of Sᵀ = column j of S): y = H21 ·
+	// (H11⁻¹ · H12[:,j]) accumulated sparsely, then staged as −y; S = H22 +
+	// (−H21·H11⁻¹·H12). Columns are independent: each touches only its own
+	// chunk's scratch and shard.
+	columnRange := func(chunk, jlo, jhi int) {
+		w := arena.Get(chunk)
+		for j := jlo; j < jhi; j++ {
+			w.touched = w.touched[:0]
+			s, e := h12T.RowRange(j)
+			idx := h12T.ColIdx()[s:e]
+			vals := h12T.Values()[s:e]
+			h11LU.SolveSparse(idx, vals, w.scratch, func(row int, x float64) {
+				rs, re := h21T.RowRange(row)
+				cols := h21T.ColIdx()[rs:re]
+				vs := h21T.Values()[rs:re]
+				for p, i := range cols {
+					if w.mark[i] != j {
+						w.mark[i] = j
+						w.acc[i] = 0
+						w.touched = append(w.touched, i)
+					}
+					w.acc[i] += vs[p] * x
 				}
-				acc[i] += vs[p] * x
-			}
-		})
-		// Stage −y into the accumulator; S = H22 + (−H21·H11⁻¹·H12).
-		for _, i := range touched {
-			if acc[i] != 0 {
-				coo.Add(i, j, -acc[i])
+			})
+			for _, i := range w.touched {
+				if w.acc[i] != 0 {
+					w.coo.Add(i, j, -w.acc[i])
+				}
 			}
 		}
 	}
-	return h22.Add(coo.ToCSR())
+
+	if parts <= 1 {
+		arena.Get(0).coo.Reserve(h22.NNZ())
+		columnRange(0, 0, n2)
+		return h22.Add(arena.Get(0).coo.ToCSR())
+	}
+	// Balance chunks by H12-column fill (the substitution fan-out driver).
+	bounds := par.BoundsByPrefix(h12T.RowPtr(), parts)
+	pool.ForBounds(bounds, columnRange)
+	// Merge shards in chunk order. Entry order does not affect ToCSR's
+	// result here — every (i, j) appears in exactly one shard — but a
+	// deterministic order keeps the whole pipeline reproducible.
+	merged := sparse.NewCOO(n2, n2)
+	total := 0
+	for c := 0; c < len(bounds)-1; c++ {
+		total += arena.Get(c).coo.NNZ()
+	}
+	merged.Reserve(total)
+	for c := 0; c < len(bounds)-1; c++ {
+		merged.Append(arena.Get(c).coo)
+	}
+	return h22.Add(merged.ToCSR())
 }
 
 func maxInt(a, b int) int {

@@ -6,6 +6,7 @@ import (
 	"bepi/internal/dense"
 	"bepi/internal/graph"
 	"bepi/internal/lu"
+	"bepi/internal/par"
 	"bepi/internal/reorder"
 	"bepi/internal/sparse"
 )
@@ -45,8 +46,16 @@ type SchurProfile struct {
 
 // ProfileSchur computes the Schur complement for hub ratio k and returns
 // the non-zero counts the paper plots in Figure 4. It shares all machinery
-// with Preprocess but skips the ILU step.
+// with Preprocess but skips the ILU step. It is the serial case of
+// ProfileSchurPool.
 func ProfileSchur(g *graph.Graph, k, c float64) (SchurProfile, error) {
+	return ProfileSchurPool(g, k, c, nil)
+}
+
+// ProfileSchurPool is ProfileSchur with the block factorization and Schur
+// build parallelized over the pool (nil runs serially). The column views of
+// H12/H21 are built once here and passed through to the Schur kernel.
+func ProfileSchurPool(g *graph.Graph, k, c float64, pool *par.Pool) (SchurProfile, error) {
 	ord := reorder.HubAndSpoke(g, k)
 	h := BuildH(g, ord.Perm, c)
 	n1, n2 := ord.N1, ord.N2
@@ -55,11 +64,11 @@ func ProfileSchur(g *graph.Graph, k, c float64) (SchurProfile, error) {
 	h12 := h.Block(0, n1, n1, l)
 	h21 := h.Block(n1, l, 0, n1)
 	h22 := h.Block(n1, l, n1, l)
-	h11LU, err := lu.FactorBlockDiag(h11, ord.Blocks)
+	h11LU, err := lu.FactorBlockDiagPool(h11, ord.Blocks, pool)
 	if err != nil {
 		return SchurProfile{}, fmt.Errorf("core: factoring H11 at k=%v: %w", k, err)
 	}
-	s := SchurComplement(h22, h21, h12, h11LU)
+	s := SchurComplementT(h22, h21.Transpose(), h12.Transpose(), h11LU, pool)
 	cross := s.Sub(h22).DropZeros(0)
 	return SchurProfile{
 		K:  k,
@@ -73,23 +82,35 @@ func ProfileSchur(g *graph.Graph, k, c float64) (SchurProfile, error) {
 // ChooseHubRatio evaluates the candidate hub ratios and returns the one
 // minimizing |S| (the BePI-S / BePI selection rule of Algorithm 1 line 2),
 // along with the profiles measured. With no candidates it defaults to the
-// paper's sweep {0.1, 0.2, 0.3, 0.4, 0.5}.
+// paper's sweep {0.1, 0.2, 0.3, 0.4, 0.5}. Candidates are profiled
+// concurrently on the shared process-wide pool; use ChooseHubRatioPool to
+// control the parallelism.
 func ChooseHubRatio(g *graph.Graph, candidates []float64, c float64) (float64, []SchurProfile, error) {
+	return ChooseHubRatioPool(g, candidates, c, par.Shared())
+}
+
+// ChooseHubRatioPool is ChooseHubRatio over an explicit pool (nil profiles
+// the candidates serially). Profiles are positional and the selection scans
+// them in candidate order, so the chosen ratio — including tie-breaks — and
+// any reported error match the serial sweep exactly.
+func ChooseHubRatioPool(g *graph.Graph, candidates []float64, c float64, pool *par.Pool) (float64, []SchurProfile, error) {
 	if len(candidates) == 0 {
 		candidates = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 	}
+	profiles := make([]SchurProfile, len(candidates))
+	errs := make([]error, len(candidates))
+	pool.Each(len(candidates), func(i int) {
+		profiles[i], errs[i] = ProfileSchurPool(g, candidates[i], c, pool)
+	})
 	best := candidates[0]
 	bestNNZ := -1
-	profiles := make([]SchurProfile, 0, len(candidates))
-	for _, k := range candidates {
-		p, err := ProfileSchur(g, k, c)
-		if err != nil {
-			return 0, nil, err
+	for i, p := range profiles {
+		if errs[i] != nil {
+			return 0, nil, errs[i]
 		}
-		profiles = append(profiles, p)
 		if bestNNZ < 0 || p.SchurNNZ < bestNNZ {
 			bestNNZ = p.SchurNNZ
-			best = k
+			best = candidates[i]
 		}
 	}
 	return best, profiles, nil

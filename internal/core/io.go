@@ -216,5 +216,10 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	e.prep.Blocks = nblocks
 	e.prep.SchurNNZ = e.schur.NNZ()
 	e.prep.HubRatio = e.opts.HubRatio
+	// Parallelism is a runtime knob, not part of the index format: a
+	// loaded engine starts on the shared process-wide pool; callers tune
+	// it with SetParallelism before serving.
+	e.pool = poolFor(0)
+	e.attachPool()
 	return e, nil
 }

@@ -78,7 +78,7 @@ func (e *Engine) QueryWithCallback(seed int, cb func(iter int, r []float64)) ([]
 	for i, v := range q1 {
 		t1[i] = c * v
 	}
-	e.h11LU.Solve(t1)
+	e.h11LU.SolvePool(t1, e.pool)
 	qt2 := make([]float64, n2)
 	e.h21.MulVec(qt2, t1)
 	for i := range qt2 {
@@ -91,7 +91,7 @@ func (e *Engine) QueryWithCallback(seed int, cb func(iter int, r []float64)) ([]
 		for i := range r1 {
 			r1[i] = c*q1[i] - r1[i]
 		}
-		e.h11LU.Solve(r1)
+		e.h11LU.SolvePool(r1, e.pool)
 		r3 := make([]float64, e.n-l)
 		e.h31.MulVec(r3, r1)
 		tmp := make([]float64, e.n-l)

@@ -132,8 +132,9 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 
 	// q̃2 = c·q2 − H21·(H11⁻¹·(c·q1))   (Algorithm 4, line 3), batched:
 	// one block-diagonal substitution sweep and one H21 traversal serve
-	// every query in the batch.
-	e.h11LU.SolveBatch(ws.gather(0, ws.t1s, active))
+	// every query in the batch; blocks (and SpMV rows) run in parallel
+	// over the engine pool.
+	e.h11LU.SolveBatchPool(ws.gather(0, ws.t1s, active), e.pool)
 	e.h21.MulVecBatch(ws.gather(1, ws.qt2s, active), ws.gather(0, ws.t1s, active))
 	for _, k := range active {
 		qp, qt2 := ws.qps[k], ws.qt2s[k]
@@ -168,7 +169,7 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 			r1[i] = c*qp[i] - r1[i]
 		}
 	}
-	e.h11LU.SolveBatch(ws.gather(2, ws.r1s, active))
+	e.h11LU.SolveBatchPool(ws.gather(2, ws.r1s, active), e.pool)
 
 	// r3 = c·q3 − H31·r1 − H32·r2   (line 6), batched.
 	e.h31.MulVecBatch(ws.gather(4, ws.r3s, active), ws.gather(2, ws.r1s, active))

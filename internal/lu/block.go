@@ -13,8 +13,10 @@ package lu
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bepi/internal/dense"
+	"bepi/internal/par"
 	"bepi/internal/sparse"
 )
 
@@ -22,21 +24,37 @@ import (
 type BlockLU struct {
 	offsets []int           // len nblocks+1; block b covers [offsets[b], offsets[b+1])
 	factors []*dense.Matrix // packed LU factors, one per block
+
+	costOnce sync.Once
+	costPfx  []int // prefix sums of per-block size², for solve partitioning
 }
 
 // FactorBlockDiag factors the block-diagonal matrix m whose diagonal blocks
 // have the given sizes (in order). It returns an error if m has an entry
-// outside the claimed block structure or a block is singular.
+// outside the claimed block structure or a block is singular. It is the
+// serial case of FactorBlockDiagPool.
 func FactorBlockDiag(m *sparse.CSR, blockSizes []int) (*BlockLU, error) {
+	return FactorBlockDiagPool(m, blockSizes, nil)
+}
+
+// FactorBlockDiagPool is FactorBlockDiag with the independent diagonal
+// blocks factored in parallel over the pool. Blocks are partitioned into
+// contiguous ranges balanced by estimated factorization cost (size³); each
+// block's factorization is unchanged, so the factors are bit-identical to
+// the serial path, and on failure the reported error is the same
+// lowest-index one the serial sweep would hit. A nil pool runs serially.
+func FactorBlockDiagPool(m *sparse.CSR, blockSizes []int, p *par.Pool) (*BlockLU, error) {
 	if m.Rows() != m.Cols() {
 		return nil, fmt.Errorf("lu: block-diagonal matrix must be square, got %v", m)
 	}
 	offsets := make([]int, len(blockSizes)+1)
+	factorCost := make([]int, len(blockSizes)+1)
 	for i, s := range blockSizes {
 		if s <= 0 {
 			return nil, fmt.Errorf("lu: block %d has size %d", i, s)
 		}
 		offsets[i+1] = offsets[i] + s
+		factorCost[i+1] = factorCost[i] + s*s*s
 	}
 	if offsets[len(blockSizes)] != m.Rows() {
 		return nil, fmt.Errorf("lu: block sizes sum to %d, matrix is %d", offsets[len(blockSizes)], m.Rows())
@@ -44,23 +62,45 @@ func FactorBlockDiag(m *sparse.CSR, blockSizes []int) (*BlockLU, error) {
 	factors := make([]*dense.Matrix, len(blockSizes))
 	col := m.ColIdx()
 	val := m.Values()
-	for b, size := range blockSizes {
-		lo, hi := offsets[b], offsets[b+1]
-		blk := dense.New(size, size)
-		for i := lo; i < hi; i++ {
-			start, end := m.RowRange(i)
-			for p := start; p < end; p++ {
-				j := col[p]
-				if j < lo || j >= hi {
-					return nil, fmt.Errorf("lu: entry (%d,%d) outside block %d [%d,%d)", i, j, b, lo, hi)
+	factorRange := func(blo, bhi int) error {
+		for b := blo; b < bhi; b++ {
+			lo, hi := offsets[b], offsets[b+1]
+			blk := dense.New(hi-lo, hi-lo)
+			for i := lo; i < hi; i++ {
+				start, end := m.RowRange(i)
+				for p := start; p < end; p++ {
+					j := col[p]
+					if j < lo || j >= hi {
+						return fmt.Errorf("lu: entry (%d,%d) outside block %d [%d,%d)", i, j, b, lo, hi)
+					}
+					blk.Set(i-lo, j-lo, val[p])
 				}
-				blk.Set(i-lo, j-lo, val[p])
+			}
+			if err := blk.LU(); err != nil {
+				return fmt.Errorf("lu: factoring block %d: %w", b, err)
+			}
+			factors[b] = blk
+		}
+		return nil
+	}
+	if p.Workers() <= 1 || len(blockSizes) < 2 {
+		if err := factorRange(0, len(blockSizes)); err != nil {
+			return nil, err
+		}
+	} else {
+		bounds := par.BoundsByPrefix(factorCost, p.Workers())
+		chunkErrs := make([]error, len(bounds)-1)
+		p.ForBounds(bounds, func(chunk, blo, bhi int) {
+			chunkErrs[chunk] = factorRange(blo, bhi)
+		})
+		// Chunks are in block order and each stops at its first failure, so
+		// the first chunk error is the lowest-index block error — the one
+		// the serial sweep reports.
+		for _, err := range chunkErrs {
+			if err != nil {
+				return nil, err
 			}
 		}
-		if err := blk.LU(); err != nil {
-			return nil, fmt.Errorf("lu: factoring block %d: %w", b, err)
-		}
-		factors[b] = blk
 	}
 	return &BlockLU{offsets: offsets, factors: factors}, nil
 }
@@ -107,6 +147,71 @@ func (b *BlockLU) SolveBatch(xs [][]float64) {
 			f.LUSolve(x[lo:hi])
 		}
 	}
+}
+
+// ensureCost builds the lazy prefix of per-block substitution costs (s²),
+// used to balance the parallel solve partitions.
+func (b *BlockLU) ensureCost() []int {
+	b.costOnce.Do(func() {
+		pfx := make([]int, len(b.factors)+1)
+		for i := range b.factors {
+			s := b.offsets[i+1] - b.offsets[i]
+			pfx[i+1] = pfx[i] + s*s
+		}
+		b.costPfx = pfx
+	})
+	return b.costPfx
+}
+
+// parallelMinUnknowns is the system size below which SolvePool and
+// SolveBatchPool stay serial: substitution on a few thousand unknowns is
+// cheaper than a chunk handoff.
+const parallelMinUnknowns = 1 << 12
+
+// SolvePool is Solve with the independent per-block substitutions run in
+// parallel over the pool. Blocks are partitioned into contiguous ranges
+// balanced by substitution cost; each block's substitution is unchanged and
+// writes only its own slice of x, so the result is bit-identical to Solve.
+// A nil pool (or a small system) runs serially.
+func (b *BlockLU) SolvePool(x []float64, p *par.Pool) {
+	if len(x) != b.N() {
+		panic(fmt.Sprintf("lu: BlockLU.SolvePool length %d want %d", len(x), b.N()))
+	}
+	if p.Workers() <= 1 || len(b.factors) < 2 || b.N() < parallelMinUnknowns {
+		b.Solve(x)
+		return
+	}
+	p.ForBounds(par.BoundsByPrefix(b.ensureCost(), p.Workers()), func(_, blo, bhi int) {
+		for i := blo; i < bhi; i++ {
+			b.factors[i].LUSolve(x[b.offsets[i]:b.offsets[i+1]])
+		}
+	})
+}
+
+// SolveBatchPool is SolveBatch with the per-block substitutions run in
+// parallel over the pool: blocks are partitioned across workers and each
+// worker keeps its blocks' factors hot across all K right-hand sides, so
+// the batched cache reuse of SolveBatch is preserved inside each partition.
+// Results are bit-identical to SolveBatch. A nil pool (or a small system)
+// runs serially.
+func (b *BlockLU) SolveBatchPool(xs [][]float64, p *par.Pool) {
+	for k, x := range xs {
+		if len(x) != b.N() {
+			panic(fmt.Sprintf("lu: BlockLU.SolveBatchPool rhs %d length %d want %d", k, len(x), b.N()))
+		}
+	}
+	if p.Workers() <= 1 || len(b.factors) < 2 || b.N()*len(xs) < parallelMinUnknowns {
+		b.SolveBatch(xs)
+		return
+	}
+	p.ForBounds(par.BoundsByPrefix(b.ensureCost(), p.Workers()), func(_, blo, bhi int) {
+		for i := blo; i < bhi; i++ {
+			lo, hi := b.offsets[i], b.offsets[i+1]
+			for _, x := range xs {
+				b.factors[i].LUSolve(x[lo:hi])
+			}
+		}
+	})
 }
 
 // SolveT solves the transposed block-diagonal system in place on x.

@@ -57,7 +57,10 @@ type Config struct {
 	C       float64 // restart probability (default core.DefaultC)
 	Tol     float64 // solver tolerance ε (default core.DefaultTol)
 	MaxIter int     // iteration cap (default 1000)
-	Budget  Budget
+	// Parallelism caps preprocessing/kernel workers for methods that
+	// support it (0 = shared GOMAXPROCS pool, 1 = serial).
+	Parallelism int
+	Budget      Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +125,7 @@ func (b *BePI) Preprocess(g *graph.Graph) error {
 		Variant:      b.variant,
 		HubRatio:     b.k,
 		MaxIter:      b.cfg.MaxIter,
+		Parallelism:  b.cfg.Parallelism,
 		MemoryBudget: b.cfg.Budget.Memory,
 		Deadline:     b.cfg.Budget.Deadline,
 	})

@@ -61,6 +61,15 @@ type Config struct {
 	// Timeout, if positive, is the per-query deadline applied on
 	// submission and enforced inside the iterative solver.
 	Timeout time.Duration
+	// Parallelism, when non-zero, re-points the engine's compute pool
+	// (core.Engine.SetParallelism) before the workers start: the sparse
+	// kernels under each solve then use up to that many cores. Zero keeps
+	// the engine's current pool (the shared GOMAXPROCS pool for freshly
+	// loaded indexes). With Workers already sized to GOMAXPROCS the pool
+	// is usually saturated by concurrent queries alone; raising kernel
+	// parallelism mainly helps low-concurrency/large-graph serving — see
+	// DESIGN.md for guidance on capping it.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +149,9 @@ type flight struct {
 // Call Close to stop it.
 func New(eng *core.Engine, cfg Config) *Executor {
 	cfg = cfg.withDefaults()
+	if cfg.Parallelism != 0 {
+		eng.SetParallelism(cfg.Parallelism)
+	}
 	e := &Executor{
 		eng:     eng,
 		cfg:     cfg,

@@ -1,0 +1,213 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bepi/internal/par"
+)
+
+// randBigCSR builds a random matrix with roughly nnzPerRow entries per row,
+// deterministic in seed. A sprinkling of rows is left empty and a few are
+// made very heavy so the nnz-balanced partition is exercised.
+func randBigCSR(rows, cols, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		k := nnzPerRow
+		switch {
+		case rng.Intn(17) == 0:
+			k = 0 // empty row
+		case rng.Intn(29) == 0:
+			k = 20 * nnzPerRow // heavy row
+		}
+		for e := 0; e < k; e++ {
+			coo.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return coo.ToCSR()
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// bitsEqual compares float slices by representation: parallel kernels
+// promise bit-identical output, not just close output.
+func bitsEqual(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+// TestParallelMulVecBitIdentical checks every parallel matvec kernel
+// against its serial twin at several worker counts, on a matrix big enough
+// to clear ParallelMinNNZ.
+func TestParallelMulVecBitIdentical(t *testing.T) {
+	const rows, cols = 3000, 2500
+	m := randBigCSR(rows, cols, 20, 1)
+	if m.NNZ() < ParallelMinNNZ {
+		t.Fatalf("test matrix too small: nnz=%d < %d", m.NNZ(), ParallelMinNNZ)
+	}
+	x := randVec(cols, 2)
+	xt := randVec(rows, 3)
+
+	wantMul := make([]float64, rows)
+	m.MulVec(wantMul, x)
+	wantAdd := randVec(rows, 4)
+	wantAddInit := append([]float64(nil), wantAdd...)
+	m.AddMulVec(wantAdd, 0.7, x)
+	wantT := make([]float64, cols)
+	m.MulVecT(wantT, xt)
+
+	const batch = 5
+	xb := make([][]float64, batch)
+	wantB := make([][]float64, batch)
+	for k := range xb {
+		xb[k] = randVec(cols, int64(10+k))
+		wantB[k] = make([]float64, rows)
+	}
+	m.MulVecBatch(wantB, xb)
+
+	for _, workers := range []int{2, 3, 8} {
+		p := m.Clone().SetPool(par.NewPool(workers))
+		p.CacheTranspose()
+
+		got := make([]float64, rows)
+		p.MulVec(got, x)
+		if i, ok := bitsEqual(got, wantMul); !ok {
+			t.Fatalf("workers=%d MulVec differs at %d: %v vs %v", workers, i, got[i], wantMul[i])
+		}
+
+		gotAdd := append([]float64(nil), wantAddInit...)
+		p.AddMulVec(gotAdd, 0.7, x)
+		if i, ok := bitsEqual(gotAdd, wantAdd); !ok {
+			t.Fatalf("workers=%d AddMulVec differs at %d", workers, i)
+		}
+
+		gotT := make([]float64, cols)
+		p.MulVecT(gotT, xt)
+		if i, ok := bitsEqual(gotT, wantT); !ok {
+			t.Fatalf("workers=%d MulVecT differs at %d: %v vs %v", workers, i, gotT[i], wantT[i])
+		}
+
+		gotB := make([][]float64, batch)
+		for k := range gotB {
+			gotB[k] = make([]float64, rows)
+		}
+		p.MulVecBatch(gotB, xb)
+		for k := range gotB {
+			if i, ok := bitsEqual(gotB[k], wantB[k]); !ok {
+				t.Fatalf("workers=%d MulVecBatch rhs %d differs at %d", workers, k, i)
+			}
+		}
+	}
+}
+
+// TestParallelMulVecPathological covers the shapes where partitioning could
+// go wrong: fewer rows than workers, single-row matrices, all-empty rows,
+// and one row holding nearly all entries.
+func TestParallelMulVecPathological(t *testing.T) {
+	pool := par.NewPool(8)
+
+	// One dense mega-row past the threshold, everything else empty.
+	coo := NewCOO(4, ParallelMinNNZ)
+	for j := 0; j < ParallelMinNNZ; j++ {
+		coo.Add(2, j, float64(j%13)-6)
+	}
+	mega := coo.ToCSR()
+	x := randVec(mega.Cols(), 5)
+	want := make([]float64, 4)
+	mega.MulVec(want, x)
+	got := make([]float64, 4)
+	mega.Clone().SetPool(pool).MulVec(got, x)
+	if i, ok := bitsEqual(got, want); !ok {
+		t.Fatalf("mega-row MulVec differs at %d", i)
+	}
+
+	// Entirely empty matrix with a pool attached.
+	empty := Zero(10, 10).SetPool(pool)
+	dst := randVec(10, 6)
+	empty.MulVec(dst, randVec(10, 7))
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("empty matrix wrote dst[%d]=%v", i, v)
+		}
+	}
+
+	// Below-threshold matrix must take the serial path and still be right.
+	small := randBigCSR(40, 40, 3, 8)
+	xs := randVec(40, 9)
+	w := make([]float64, 40)
+	small.MulVec(w, xs)
+	g := make([]float64, 40)
+	small.Clone().SetPool(pool).MulVec(g, xs)
+	if i, ok := bitsEqual(g, w); !ok {
+		t.Fatalf("small MulVec differs at %d", i)
+	}
+}
+
+// TestCacheTransposeMulVecT checks the gather path against the scatter path
+// under == float semantics. (Representations may differ only in zero sign:
+// the scatter skips x[i]==0 while the gather multiplies through, which can
+// turn -0 into +0 — numerically identical.)
+func TestCacheTransposeMulVecT(t *testing.T) {
+	for trial := int64(0); trial < 5; trial++ {
+		m := randBigCSR(300, 200, 4, 20+trial)
+		x := randVec(m.Rows(), 30+trial)
+		for i := 0; i < len(x); i += 7 {
+			x[i] = 0 // exercise the scatter's zero-skip
+		}
+		want := make([]float64, m.Cols())
+		m.MulVecT(want, x)
+		c := m.Clone()
+		tr := c.CacheTranspose()
+		if !tr.Equal(m.Transpose()) {
+			t.Fatal("CacheTranspose differs from Transpose")
+		}
+		got := make([]float64, m.Cols())
+		c.MulVecT(got, x)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d: MulVecT[%d] = %v via transpose, %v via scatter", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSetPoolPropagatesToCachedTranspose(t *testing.T) {
+	m := randBigCSR(100, 100, 3, 40)
+	tr := m.CacheTranspose()
+	pool := par.NewPool(4)
+	m.SetPool(pool)
+	if tr.Pool() != pool {
+		t.Fatal("SetPool did not propagate to the cached transpose")
+	}
+	// Caching after the pool is attached propagates too.
+	m2 := randBigCSR(100, 100, 3, 41).SetPool(pool)
+	if m2.CacheTranspose().Pool() != pool {
+		t.Fatal("CacheTranspose did not inherit the pool")
+	}
+}
+
+func TestCOOAppend(t *testing.T) {
+	a := NewCOO(4, 4)
+	a.Add(0, 1, 2)
+	b := NewCOO(4, 4)
+	b.Add(3, 2, 5)
+	b.Add(0, 1, 1) // duplicate coordinate accumulates on ToCSR
+	a.Append(b)
+	m := a.ToCSR()
+	if m.At(0, 1) != 3 || m.At(3, 2) != 5 || m.NNZ() != 2 {
+		t.Fatalf("append merge wrong: %v", m)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"bepi/internal/par"
 )
 
 // COO is a coordinate-format triplet accumulator used to build CSR matrices.
@@ -64,6 +66,18 @@ func (a *COO) Add(i, j int, v float64) {
 	a.v = append(a.v, v)
 }
 
+// Append concatenates all entries of b, which must have the same shape,
+// onto a. It is how per-worker COO shards built by a parallel kernel merge
+// back into one accumulator.
+func (a *COO) Append(b *COO) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("sparse: Append shape %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	a.r = append(a.r, b.r...)
+	a.c = append(a.c, b.c...)
+	a.v = append(a.v, b.v...)
+}
+
 // ToCSR converts the accumulated triplets into a CSR matrix, summing
 // duplicates and dropping entries whose merged value is exactly zero is NOT
 // done (explicit zeros are kept so patterns remain predictable).
@@ -100,6 +114,59 @@ type CSR struct {
 	rowPtr     []int
 	col        []int
 	val        []float64
+
+	// pool, when set, parallelizes the matvec kernels above
+	// ParallelMinNNZ by row partition; see SetPool.
+	pool *par.Pool
+	// tr is the cached transpose built by CacheTranspose; MulVecT runs as
+	// a (parallelizable) row-gather over it when present.
+	tr *CSR
+}
+
+// ParallelMinNNZ is the stored-entry count below which the matvec kernels
+// stay serial even with a pool attached: under it, chunk handoff costs more
+// than the multiply.
+const ParallelMinNNZ = 1 << 15
+
+// SetPool attaches a parallel pool to the matrix and returns it. With a
+// pool attached (and more than one worker), MulVec, MulVecT, AddMulVec and
+// MulVecBatch partition rows across the pool once the matrix has at least
+// ParallelMinNNZ stored entries. Each output element is still produced by
+// the unchanged serial per-row loop, so results are bit-identical to the
+// serial kernels at any worker count. A nil pool restores serial execution.
+func (m *CSR) SetPool(p *par.Pool) *CSR {
+	m.pool = p
+	if m.tr != nil {
+		m.tr.pool = p
+	}
+	return m
+}
+
+// Pool returns the attached pool (nil means serial).
+func (m *CSR) Pool() *par.Pool { return m.pool }
+
+// CacheTranspose builds, caches and returns Mᵀ. While cached, MulVecT runs
+// as a row-gather over the transpose — the same additions in the same
+// order as the scatter loop, so results stay bit-identical — which, unlike
+// the scatter, can be row-partitioned across the pool. Call it once the
+// pattern and values are final; mutating the matrix afterwards desyncs the
+// cache.
+func (m *CSR) CacheTranspose() *CSR {
+	if m.tr == nil {
+		m.tr = m.Transpose()
+		m.tr.pool = m.pool
+	}
+	return m.tr
+}
+
+// parBounds reports whether the kernels should run parallel, and with
+// which row partition: nnz-balanced chunk boundaries over the pool's
+// workers.
+func (m *CSR) parBounds() ([]int, bool) {
+	if m.pool.Workers() <= 1 || len(m.val) < ParallelMinNNZ || m.rows < 2 {
+		return nil, false
+	}
+	return par.BoundsByPrefix(m.rowPtr, m.pool.Workers()), true
 }
 
 // NewCSR constructs a CSR matrix directly from raw slices. The slices are
@@ -236,12 +303,22 @@ func (m *CSR) Clone() *CSR {
 }
 
 // MulVec computes dst = M·x. dst must have length Rows and x length Cols;
-// dst and x must not alias.
+// dst and x must not alias. With a pool attached (SetPool) the rows are
+// partitioned across workers; each dst element is still accumulated by the
+// same serial loop, so the result is bit-identical to serial execution.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(dst) != m.rows || len(x) != m.cols {
 		panic(fmt.Sprintf("sparse: MulVec dims dst=%d x=%d want %d,%d", len(dst), len(x), m.rows, m.cols))
 	}
-	for i := 0; i < m.rows; i++ {
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecRange(dst, x, 0, m.rows)
+}
+
+func (m *CSR) mulVecRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
 			s += m.val[p] * x[m.col[p]]
@@ -267,7 +344,15 @@ func (m *CSR) MulVecBatch(dst, x [][]float64) {
 				len(dst[k]), len(x[k]), m.rows, m.cols))
 		}
 	}
-	for i := 0; i < m.rows; i++ {
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecBatchRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecBatchRange(dst, x, 0, m.rows)
+}
+
+func (m *CSR) mulVecBatchRange(dst, x [][]float64, rlo, rhi int) {
+	for i := rlo; i < rhi; i++ {
 		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 		cols := m.col[lo:hi]
 		vals := m.val[lo:hi]
@@ -282,11 +367,19 @@ func (m *CSR) MulVecBatch(dst, x [][]float64) {
 	}
 }
 
-// MulVecT computes dst = Mᵀ·x without materializing the transpose.
-// dst must have length Cols and x length Rows; they must not alias.
+// MulVecT computes dst = Mᵀ·x. dst must have length Cols and x length
+// Rows; they must not alias. Without a cached transpose it is the serial
+// scatter loop; after CacheTranspose it becomes a gather over Mᵀ's rows —
+// for each output j the contributions arrive in the same ascending-i order
+// the scatter applies them, so the result is bit-identical — and the
+// gather row-partitions across the pool like MulVec.
 func (m *CSR) MulVecT(dst, x []float64) {
 	if len(dst) != m.cols || len(x) != m.rows {
 		panic(fmt.Sprintf("sparse: MulVecT dims dst=%d x=%d want %d,%d", len(dst), len(x), m.cols, m.rows))
+	}
+	if m.tr != nil {
+		m.tr.MulVec(dst, x)
+		return
 	}
 	for j := range dst {
 		dst[j] = 0
@@ -302,12 +395,21 @@ func (m *CSR) MulVecT(dst, x []float64) {
 	}
 }
 
-// AddMulVec computes dst += alpha · M·x.
+// AddMulVec computes dst += alpha · M·x. Row-partitioned like MulVec when
+// a pool is attached.
 func (m *CSR) AddMulVec(dst []float64, alpha float64, x []float64) {
 	if len(dst) != m.rows || len(x) != m.cols {
 		panic("sparse: AddMulVec dimension mismatch")
 	}
-	for i := 0; i < m.rows; i++ {
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.addMulVecRange(dst, alpha, x, lo, hi) })
+		return
+	}
+	m.addMulVecRange(dst, alpha, x, 0, m.rows)
+}
+
+func (m *CSR) addMulVecRange(dst []float64, alpha float64, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
 			s += m.val[p] * x[m.col[p]]
