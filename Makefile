@@ -1,6 +1,10 @@
 GO ?= go
+# Where `make profile` scrapes the CPU profile from: bepi-serve's
+# -debug-addr listener.
+PROFILE_ADDR ?= localhost:6060
+PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet check bench bench-par
+.PHONY: build test race race-par vet lint check bench bench-par profile
 
 build:
 	$(GO) build ./...
@@ -11,6 +15,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. staticcheck and govulncheck are used when
+# installed (CI installs them); locally the target degrades to a note
+# instead of failing on a missing tool.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
 # Race-checks the whole module; the qexec/server concurrency stress tests
 # only give real coverage under -race.
 race:
@@ -18,14 +37,17 @@ race:
 
 # Focused, repeated race pass over the parallel runtime and the kernels
 # built on it — including the stress test of concurrent engine builds
-# sharing one pool, where interleavings vary run to run.
+# sharing one pool, where interleavings vary run to run — plus the obs
+# histograms' record-vs-snapshot race test.
 race-par:
 	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested' \
-		./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/
+		./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
+		./internal/obs/ ./internal/qexec/
 
-# The CI gate: everything must build, vet clean, and pass under the race
-# detector, with an extra repeated pass over the parallel kernels.
-check: vet race race-par
+# The CI gate: everything must build, lint clean (vet always; staticcheck/
+# govulncheck when installed), and pass under the race detector, with an
+# extra repeated pass over the parallel kernels.
+check: lint race race-par
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkQexecThroughput -benchmem ./internal/qexec/
@@ -35,3 +57,9 @@ bench:
 bench-par:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchurComplement|BenchmarkFactorBlockDiag' -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkParallelMulVec -benchmem ./internal/sparse/
+
+# Capture a CPU profile from a running bepi-serve (start it with
+# -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:
+#   make profile [PROFILE_ADDR=host:port] [PROFILE_SECONDS=15]
+profile:
+	$(GO) tool pprof -seconds $(PROFILE_SECONDS) http://$(PROFILE_ADDR)/debug/pprof/profile

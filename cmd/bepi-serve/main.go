@@ -9,6 +9,12 @@
 //	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/personalized -d '{"weights":{"3":0.5,"9":0.5}}'
 //
+// Observability: /metrics serves JSON (or Prometheus text to scrapers),
+// /debug/traces the recent per-query stage traces. -slow-query logs queries
+// over a threshold through log/slog; -trace-sample thins tracing under
+// load; -debug-addr opens a second, private listener with net/http/pprof
+// (keep it off the serving port — profiles are expensive and unauthenticated).
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // requests get up to -shutdown-timeout to finish, and the execution pool
 // drains.
@@ -20,16 +26,38 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"bepi"
+	"bepi/internal/obs"
 	"bepi/internal/qexec"
 	"bepi/internal/server"
 )
+
+// pprofServer starts the private debug listener: the four pprof handlers
+// on an explicit mux, so nothing else (in particular the query endpoints)
+// leaks onto the debug port.
+func pprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("bepi-serve: debug listener: %v", err)
+		}
+	}()
+	return srv
+}
 
 func main() {
 	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (required)")
@@ -42,6 +70,9 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline enforced inside the solver (0 = none)")
 	parallelism := flag.Int("parallelism", 0, "per-solve kernel worker cap (0 = keep engine default, 1 = serial kernels)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold via slog (0 = disabled)")
+	traceSample := flag.Int("trace-sample", qexec.DefaultTraceSample, "trace every Nth query into /debug/traces (1 = all; tracing allocates, sampling keeps it off the hot path)")
+	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
 	if *indexPath == "" {
 		fmt.Fprintln(os.Stderr, "bepi-serve: -index is required")
@@ -68,10 +99,23 @@ func main() {
 		CacheEntries: *cacheEntries,
 		Timeout:      *queryTimeout,
 		Parallelism:  *parallelism,
+		Obs: obs.New(obs.Options{
+			TraceSample: *traceSample,
+			SlowQuery:   *slowQuery,
+			Logger:      slog.Default(),
+		}),
 	})
 	cfg := handler.Executor().Config()
 	log.Printf("qexec: %d workers, batch ≤%d within %v, queue %d, cache %d entries, timeout %v",
 		cfg.Workers, cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth, cfg.CacheEntries, cfg.Timeout)
+	if *slowQuery > 0 {
+		log.Printf("obs: logging queries slower than %v", *slowQuery)
+	}
+	if *debugAddr != "" {
+		dbg := pprofServer(*debugAddr)
+		defer dbg.Close()
+		log.Printf("obs: pprof on %s/debug/pprof/", *debugAddr)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"fig11", "Figure 11 (App. J): BePI vs Bear head to head", Fig11},
 		{"fig12", "Figure 12 (App. K): total running time (preprocessing + 30 queries)", Fig12},
 		{"prepstages", "Beyond paper: per-stage preprocessing wall times and parallel worker count", PrepStages},
+		{"serving", "Beyond paper: steady-state serving throughput, latency quantiles, cache hit rate", Serving},
 	}
 }
 

@@ -166,6 +166,28 @@ type QueryStats struct {
 	Duration   time.Duration
 	Iterations int
 	Residual   float64
+	// Stages breaks Duration down by pipeline phase. In a batched solve the
+	// shared phases (everything except Solve) report the whole batch's
+	// phase wall time — the latency that query actually experienced there.
+	Stages StageTimings
+}
+
+// StageTimings is the engine-side phase breakdown of one query: where the
+// time between entering QueryVectorBatch and returning the score vector
+// went. Solve is per query (the iterative Schur solve runs per item); the
+// other phases are shared across the batch.
+type StageTimings struct {
+	// Permute covers scattering q into the reordered space and forming
+	// t1 = c·q1.
+	Permute time.Duration
+	// Forward covers the batched H11 back-substitution, the H21 SpMV, and
+	// assembling q̃2 (Algorithm 4, line 3).
+	Forward time.Duration
+	// Solve is this query's iterative solve of S·r2 = q̃2 (line 4).
+	Solve time.Duration
+	// Back covers r1/r3 reconstruction and the un-permute into original
+	// node ids (lines 5-7).
+	Back time.Duration
 }
 
 // Engine is a preprocessed BePI index able to answer RWR queries for any
@@ -182,7 +204,17 @@ type Engine struct {
 
 	pool *par.Pool // compute pool for kernels; nil means serial
 	prep PrepStats
+
+	// iterHook, when set, receives (iteration, residual) from inside every
+	// iterative Schur solve — live convergence telemetry for the serving
+	// layer. It must be safe for concurrent calls (solves run on many
+	// workers) and cheap (it fires once per solver iteration).
+	iterHook func(iter int, residual float64)
 }
+
+// SetIterHook installs a per-iteration solver observer (nil removes it).
+// Set it before serving queries; it must not race with in-flight solves.
+func (e *Engine) SetIterHook(f func(iter int, residual float64)) { e.iterHook = f }
 
 // poolFor resolves the Parallelism option to a pool: 0 shares the
 // process-wide pool, 1 is serial (nil pool), n > 1 is a dedicated pool.

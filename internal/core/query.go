@@ -41,12 +41,13 @@ func (e *Engine) solveSchur(qt2 []float64, cb func(int, []float64)) ([]float64, 
 // the next solve on that workspace.
 func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, ws *solver.Workspace, cb func(int, []float64)) ([]float64, solver.Stats, error) {
 	opts := solver.GMRESOptions{
-		Tol:      e.opts.Tol,
-		MaxIter:  e.opts.MaxIter,
-		Restart:  e.opts.GMRESRestart,
-		Callback: cb,
-		Ctx:      ctx,
-		Work:     ws,
+		Tol:         e.opts.Tol,
+		MaxIter:     e.opts.MaxIter,
+		Restart:     e.opts.GMRESRestart,
+		Callback:    cb,
+		OnIteration: e.iterHook,
+		Ctx:         ctx,
+		Work:        ws,
 	}
 	if e.ilu != nil {
 		opts.Precond = e.ilu

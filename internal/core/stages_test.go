@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bepi/internal/gen"
+)
+
+// TestQueryStageTimings checks that QueryVectorBatch fills the per-phase
+// breakdown: every phase is measured, Solve is per-query, and the phases
+// fit inside the total duration.
+func TestQueryStageTimings(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 1))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([][]float64, 3)
+	for k := range qs {
+		q := make([]float64, e.N())
+		q[k*3+1] = 1
+		qs[k] = q
+	}
+	_, stats, errs := e.QueryVectorBatch(nil, qs, nil)
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", k, err)
+		}
+		st := stats[k].Stages
+		if st.Solve <= 0 {
+			t.Errorf("query %d: Solve stage not timed: %+v", k, st)
+		}
+		if st.Permute < 0 || st.Forward <= 0 || st.Back <= 0 {
+			t.Errorf("query %d: phases not timed: %+v", k, st)
+		}
+		sum := st.Permute + st.Forward + st.Solve + st.Back
+		if sum > stats[k].Duration+time.Millisecond {
+			t.Errorf("query %d: stages %v exceed total %v", k, sum, stats[k].Duration)
+		}
+	}
+	// Shared phases must be identical across the batch (one traversal
+	// serves every query); Solve is per query.
+	if stats[0].Stages.Forward != stats[1].Stages.Forward ||
+		stats[0].Stages.Back != stats[2].Stages.Back {
+		t.Error("shared phases must report the batch's phase time")
+	}
+}
+
+// TestSetIterHook checks that the engine threads the solver's cheap
+// per-iteration hook through the Schur solve.
+func TestSetIterHook(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 8, 2))
+	e, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	var last float64
+	e.SetIterHook(func(iter int, residual float64) {
+		calls++
+		last = residual
+	})
+	_, stats, err := e.Query(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != stats.Iterations {
+		t.Fatalf("hook fired %d times, stats report %d iterations", calls, stats.Iterations)
+	}
+	if last != stats.Residual {
+		t.Fatalf("hook residual %g, stats %g", last, stats.Residual)
+	}
+	// Removing the hook stops the calls.
+	e.SetIterHook(nil)
+	calls = 0
+	if _, _, err := e.Query(4); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("hook fired after removal")
+	}
+}

@@ -114,6 +114,7 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 	}
 
 	// Permute each q into the reordered space and form t1 = c·q1.
+	tPhase := time.Now()
 	for _, k := range active {
 		qp := ws.qps[k]
 		for i := range qp {
@@ -129,11 +130,13 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 			t1[i] = c * v
 		}
 	}
+	permuteDur := time.Since(tPhase)
 
 	// q̃2 = c·q2 − H21·(H11⁻¹·(c·q1))   (Algorithm 4, line 3), batched:
 	// one block-diagonal substitution sweep and one H21 traversal serve
 	// every query in the batch; blocks (and SpMV rows) run in parallel
 	// over the engine pool.
+	tPhase = time.Now()
 	e.h11LU.SolveBatchPool(ws.gather(0, ws.t1s, active), e.pool)
 	e.h21.MulVecBatch(ws.gather(1, ws.qt2s, active), ws.gather(0, ws.t1s, active))
 	for _, k := range active {
@@ -143,13 +146,16 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 			qt2[i] = c*q2[i] - qt2[i]
 		}
 	}
+	forwardDur := time.Since(tPhase)
 
 	// Solve S·r2 = q̃2 per query (line 4) — iterative, so per-query
 	// contexts apply here; the Krylov workspace is shared sequentially.
 	solved := make([]int, 0, len(active))
 	for _, k := range active {
+		tSolve := time.Now()
 		r2, st, err := e.solveSchurCtx(ctxFor(k), ws.qt2s[k], &ws.slv, nil)
 		stats[k].Iterations, stats[k].Residual = st.Iterations, st.Residual
+		stats[k].Stages.Solve = time.Since(tSolve)
 		if err != nil {
 			errs[k] = fmt.Errorf("core: solving Schur system: %w", err)
 			continue
@@ -160,6 +166,7 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 		solved = append(solved, k)
 	}
 	active = solved
+	tPhase = time.Now()
 
 	// r1 = H11⁻¹·(c·q1 − H12·r2)   (line 5), batched.
 	e.h12.MulVecBatch(ws.gather(2, ws.r1s, active), ws.gather(3, ws.r2s, active))
@@ -200,9 +207,13 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 		}
 		res[k] = r
 	}
+	backDur := time.Since(tPhase)
 	elapsed := time.Since(start)
 	for k := range stats {
 		stats[k].Duration = elapsed
+		stats[k].Stages.Permute = permuteDur
+		stats[k].Stages.Forward = forwardDur
+		stats[k].Stages.Back = backDur
 	}
 	return res, stats, errs
 }

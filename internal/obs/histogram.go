@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free fixed-bucket histogram. Bucket i counts values
+// v ≤ Bounds[i] (the first bound that fits); one extra bucket catches the
+// overflow (+Inf). Record is a binary search plus two atomic updates, cheap
+// enough for the per-query hot path; Snapshot reads the buckets without
+// stopping writers, so a snapshot taken under concurrent recording is a
+// consistent-enough point-in-time view (each bucket is atomically read, the
+// set of buckets is not read as one atomic unit).
+type Histogram struct {
+	name   string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// The name is used by the Prometheus exporter's HELP text and the bench
+// tables.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. It is safe for concurrent use and a no-op on a
+// nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Name returns the label the histogram was built with.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Name   string
+	Bounds []float64 // bucket upper bounds; one implicit +Inf bucket follows
+	Counts []uint64  // per-bucket counts, len(Bounds)+1
+	Count  uint64    // total observations (sum of Counts)
+	Sum    float64   // sum of observed values
+}
+
+// Snapshot copies the histogram's current state. Safe under concurrent
+// Observe calls; returns a zero snapshot for a nil histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Name:   h.name,
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank. Values in the overflow bucket
+// report the largest finite bound; an empty histogram reports 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Counts)-1 {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// LogBuckets returns upper bounds log-spaced from lo up to at least hi with
+// `per` buckets per decade. lo and hi must be positive, per ≥ 1.
+func LogBuckets(lo, hi float64, per int) []float64 {
+	if lo <= 0 || hi <= lo || per < 1 {
+		panic("obs: LogBuckets needs 0 < lo < hi and per ≥ 1")
+	}
+	ratio := math.Pow(10, 1/float64(per))
+	var b []float64
+	for v := lo; ; v *= ratio {
+		b = append(b, v)
+		if v >= hi {
+			return b
+		}
+	}
+}
+
+// LatencyBuckets spans 1µs to 60s in seconds, five buckets per decade —
+// wide enough for a cache hit and a cold billion-edge solve alike.
+func LatencyBuckets() []float64 { return LogBuckets(1e-6, 60, 5) }
+
+// IterationBuckets covers iterative-solver iteration counts: the paper's
+// experiments sit at 4-70 GMRES iterations, MaxIter defaults to 1000.
+func IterationBuckets() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024}
+}
+
+// ResidualBuckets covers final relative residuals from the default
+// tolerance (1e-9) regime up to non-convergence.
+func ResidualBuckets() []float64 { return LogBuckets(1e-13, 1, 2) }

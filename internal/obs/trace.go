@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named stage of a query's life, as an offset from the trace
+// start. The serving path emits: "cache" (lookup), "coalesce" (waiting on
+// an identical in-flight solve), "admission" (bounded queue, enqueue to
+// worker pickup), "batch" (batch assembly: pickup to solve start), "solve"
+// (the multi-RHS engine call), and "rank" (top-k extraction).
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Trace is the completed record of one query through the execution
+// subsystem.
+type Trace struct {
+	ID   uint64    `json:"id"`
+	Kind string    `json:"kind"` // "query" | "personalized"
+	Seed int       `json:"seed"` // -1 for personalized queries
+	Time time.Time `json:"time"` // trace start
+
+	Total      time.Duration `json:"total_ns"`
+	Cached     bool          `json:"cached,omitempty"`
+	Coalesced  bool          `json:"coalesced,omitempty"`
+	BatchSize  int           `json:"batch_size,omitempty"`
+	Iterations int           `json:"iterations,omitempty"`
+	Residual   float64       `json:"residual,omitempty"`
+	Err        string        `json:"error,omitempty"`
+
+	Spans []Span `json:"spans"`
+}
+
+// Tracer samples queries into ActiveTraces and keeps the most recent
+// finished traces in a bounded ring buffer.
+type Tracer struct {
+	clock  Clock
+	sample uint64
+	n      atomic.Uint64 // Begin calls; doubles as the trace id source
+
+	mu   sync.Mutex
+	ring []Trace
+	size int // traces stored (≤ len(ring))
+	pos  int // next write index
+}
+
+// NewTracer builds a tracer with the given ring capacity, sampling one in
+// every `sample` queries (≤ 1 means every query). clock nil means time.Now.
+func NewTracer(capacity, sample int, clock Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{clock: clock, sample: uint64(sample), ring: make([]Trace, capacity)}
+}
+
+// Begin starts a trace for one query, or returns nil when the query is not
+// sampled (every ActiveTrace method is nil-safe, so callers never branch).
+// A nil tracer never samples.
+func (t *Tracer) Begin(kind string, seed int) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	n := t.n.Add(1)
+	if (n-1)%t.sample != 0 {
+		return nil
+	}
+	start := t.clock.now()
+	return &ActiveTrace{
+		t:     t,
+		start: start,
+		tr: Trace{
+			ID:    n,
+			Kind:  kind,
+			Seed:  seed,
+			Time:  start,
+			Spans: make([]Span, 0, 8),
+		},
+	}
+}
+
+// Recent returns up to max finished traces, newest first. Pass max ≤ 0 for
+// the whole ring.
+func (t *Tracer) Recent(max int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.size
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Trace, n)
+	for i := 0; i < n; i++ {
+		// pos-1 is the newest entry.
+		out[i] = t.ring[((t.pos-1-i)%len(t.ring)+len(t.ring))%len(t.ring)]
+	}
+	return out
+}
+
+// ActiveTrace is a trace being recorded. It is not internally synchronized:
+// the serving path hands it from the requester goroutine to the worker and
+// back with channel happens-before edges, which is exactly the ordering its
+// appends need. All methods are no-ops on a nil receiver.
+type ActiveTrace struct {
+	t     *Tracer
+	start time.Time
+	tr    Trace
+}
+
+// AddSpan records a stage that ran from `from` to `to` (tracer-clock
+// timestamps).
+func (a *ActiveTrace) AddSpan(name string, from, to time.Time) {
+	if a == nil {
+		return
+	}
+	a.tr.Spans = append(a.tr.Spans, Span{Name: name, Start: from.Sub(a.start), Dur: to.Sub(from)})
+}
+
+// SetCached marks the query as served from the score cache.
+func (a *ActiveTrace) SetCached() {
+	if a != nil {
+		a.tr.Cached = true
+	}
+}
+
+// SetCoalesced marks the query as having ridden an in-flight solve.
+func (a *ActiveTrace) SetCoalesced() {
+	if a != nil {
+		a.tr.Coalesced = true
+	}
+}
+
+// SetBatch records how many queries shared this query's engine solve.
+func (a *ActiveTrace) SetBatch(k int) {
+	if a != nil {
+		a.tr.BatchSize = k
+	}
+}
+
+// SetSolve records the iterative solver's outcome for this query.
+func (a *ActiveTrace) SetSolve(iterations int, residual float64) {
+	if a != nil {
+		a.tr.Iterations = iterations
+		a.tr.Residual = residual
+	}
+}
+
+// SetErr records a failure.
+func (a *ActiveTrace) SetErr(err error) {
+	if a != nil && err != nil {
+		a.tr.Err = err.Error()
+	}
+}
+
+// Spans exposes the spans recorded so far (for the slow-query log).
+func (a *ActiveTrace) Spans() []Span {
+	if a == nil {
+		return nil
+	}
+	return a.tr.Spans
+}
+
+// Finish stamps the total duration and publishes the trace into the ring.
+// Call it at most once, after every goroutine holding the trace is done
+// with it.
+func (a *ActiveTrace) Finish(end time.Time) {
+	if a == nil {
+		return
+	}
+	a.tr.Total = end.Sub(a.start)
+	t := a.t
+	t.mu.Lock()
+	t.ring[t.pos] = a.tr
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+}

@@ -7,6 +7,7 @@ import (
 
 	"bepi/internal/core"
 	"bepi/internal/gen"
+	"bepi/internal/obs"
 )
 
 // benchSeed models serving traffic with a hot set: three quarters of
@@ -65,8 +66,18 @@ func BenchmarkQexecThroughput(b *testing.B) {
 	run := func(b *testing.B, cfg Config) {
 		ex := New(e, cfg)
 		defer ex.Close()
+		// Prime the hot set so the cached variants measure steady state,
+		// then snapshot: the Delta at the end excludes this warmup.
+		ctx := context.Background()
+		for i := 0; i < 64; i++ {
+			if _, err := ex.Query(ctx, benchSeed(i, n)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warm := ex.Metrics()
 		var ctr atomic.Int64
 		b.ReportAllocs()
+		b.ResetTimer()
 		// Model several concurrent clients even on few cores so queries
 		// can actually coalesce into multi-RHS batches.
 		b.SetParallelism(8)
@@ -84,10 +95,10 @@ func BenchmarkQexecThroughput(b *testing.B) {
 			}
 		})
 		b.StopTimer()
-		m := ex.Metrics()
-		b.ReportMetric(float64(m.CacheHits)/float64(b.N), "hits/op")
-		if m.Batches > 0 {
-			b.ReportMetric(float64(m.Executed)/float64(m.Batches), "batchsz")
+		d := ex.Metrics().Delta(warm)
+		b.ReportMetric(d.HitRate(), "hitrate")
+		if sz := d.AvgBatchSize(); sz > 0 {
+			b.ReportMetric(sz, "batchsz")
 		}
 	}
 
@@ -96,4 +107,8 @@ func BenchmarkQexecThroughput(b *testing.B) {
 	// workspace-reuse + opportunistic-batching effect.
 	b.Run("pooled", func(b *testing.B) { run(b, Config{CacheEntries: -1, BatchWindow: -1}) })
 	b.Run("qexec", func(b *testing.B) { run(b, Config{}) })
+	// Observability cost check: the full subsystem with every obs hook
+	// disabled. qexec vs noobs is the histogram/trace recording overhead
+	// on the hot path (acceptance: <1%).
+	b.Run("noobs", func(b *testing.B) { run(b, Config{Obs: obs.Disabled}) })
 }

@@ -6,6 +6,10 @@ import "sync/atomic"
 // 1, 2, 3–4, 5–8, 9–16, 17+.
 var batchBuckets = []int{1, 2, 4, 8, 16}
 
+// BatchBuckets returns the batch-size histogram bucket upper bounds (a
+// final +Inf bucket follows), for exporters that re-emit BatchSizeHist.
+func BatchBuckets() []int { return batchBuckets }
+
 // counters is the executor's internal atomic counter set.
 type counters struct {
 	hits      atomic.Int64
@@ -29,7 +33,11 @@ func (c *counters) observeBatch(size int) {
 	c.batchHist[len(batchBuckets)].Add(1)
 }
 
-// Metrics is a point-in-time snapshot of the executor's counters.
+// Metrics is a point-in-time snapshot of the executor's counters. All
+// counter fields are cumulative since the executor started — they are
+// never reset, so rates come from subtracting two snapshots (Delta) rather
+// than from a Reset that would race other readers. CacheEntries and Queued
+// are gauges: current occupancy, not cumulative.
 type Metrics struct {
 	// CacheHits counts queries answered from the LRU cache with no solve.
 	CacheHits int64
@@ -46,13 +54,19 @@ type Metrics struct {
 	// Executed counts queries actually solved (summed batch sizes).
 	Executed int64
 	// BatchSizeHist is the batch-size histogram with bucket upper bounds
-	// 1, 2, 4, 8, 16, +Inf.
+	// 1, 2, 4, 8, 16, +Inf (see BatchBuckets).
 	BatchSizeHist [6]int64
-	// CacheEntries is the current number of cached score vectors.
+	// CacheEntries is the current number of cached score vectors (gauge).
 	CacheEntries int
+	// Queued is the current admission-queue occupancy (gauge).
+	Queued int
 }
 
-// Metrics snapshots the executor's counters.
+// Metrics snapshots the executor's counters. Each field is read atomically,
+// but the snapshot as a whole is not one atomic unit: under concurrent
+// traffic the fields may be skewed by the handful of queries that completed
+// between reads. That skew is bounded and disappears in Delta-based rate
+// computations over any non-trivial window.
 func (e *Executor) Metrics() Metrics {
 	m := Metrics{
 		CacheHits:   e.m.hits.Load(),
@@ -61,6 +75,7 @@ func (e *Executor) Metrics() Metrics {
 		Shed:        e.m.shed.Load(),
 		Batches:     e.m.batches.Load(),
 		Executed:    e.m.executed.Load(),
+		Queued:      len(e.reqs),
 	}
 	for i := range m.BatchSizeHist {
 		m.BatchSizeHist[i] = e.m.batchHist[i].Load()
@@ -69,4 +84,45 @@ func (e *Executor) Metrics() Metrics {
 		m.CacheEntries = e.cache.len()
 	}
 	return m
+}
+
+// Delta returns the counter movement between two snapshots, m − prev —
+// the Reset-free way to compute steady-state rates (take a snapshot after
+// warmup, another at the end, and call Delta). Gauge fields (CacheEntries,
+// Queued) are carried over from m unchanged.
+func (m Metrics) Delta(prev Metrics) Metrics {
+	d := Metrics{
+		CacheHits:    m.CacheHits - prev.CacheHits,
+		CacheMisses:  m.CacheMisses - prev.CacheMisses,
+		Coalesced:    m.Coalesced - prev.Coalesced,
+		Shed:         m.Shed - prev.Shed,
+		Batches:      m.Batches - prev.Batches,
+		Executed:     m.Executed - prev.Executed,
+		CacheEntries: m.CacheEntries,
+		Queued:       m.Queued,
+	}
+	for i := range d.BatchSizeHist {
+		d.BatchSizeHist[i] = m.BatchSizeHist[i] - prev.BatchSizeHist[i]
+	}
+	return d
+}
+
+// HitRate returns the fraction of queries served from the cache,
+// CacheHits / (CacheHits + CacheMisses), or 0 before any traffic. Apply it
+// to a Delta for a steady-state rate unpolluted by cold-cache warmup.
+func (m Metrics) HitRate() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// AvgBatchSize returns Executed/Batches — how many queries the scheduler
+// coalesced into each multi-RHS solve on average — or 0 before any solve.
+func (m Metrics) AvgBatchSize() float64 {
+	if m.Batches == 0 {
+		return 0
+	}
+	return float64(m.Executed) / float64(m.Batches)
 }

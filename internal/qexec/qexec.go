@@ -16,7 +16,10 @@
 //     the iterative Schur solver via context.Context.
 //
 // Counters for all of the above are exposed through Metrics for the
-// server's /metrics endpoint.
+// server's /metrics endpoint, and every query is observed by an
+// internal/obs Observer: latency/queue-wait/iteration/residual histograms,
+// sampled per-query stage traces (admission → batch assembly → solve →
+// rank), and a slow-query log.
 package qexec
 
 import (
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"bepi/internal/core"
+	"bepi/internal/obs"
 )
 
 // Errors reported by admission control.
@@ -70,7 +74,20 @@ type Config struct {
 	// parallelism mainly helps low-concurrency/large-graph serving — see
 	// DESIGN.md for guidance on capping it.
 	Parallelism int
+	// Obs receives the executor's telemetry: latency/queue/iteration
+	// histograms, per-query stage traces, and the slow-query log. Nil
+	// selects obs.New with a 256-entry trace ring sampling one query in
+	// DefaultTraceSample — histograms are always-on (sub-1% of the hot
+	// path; see BenchmarkQexecThroughput qexec vs noobs), tracing is
+	// sampled because its allocations are not. Pass obs.Disabled to turn
+	// the layer off, or a custom observer with TraceSample 1 to trace
+	// every query while debugging.
+	Obs *obs.Observer
 }
+
+// DefaultTraceSample is the default observer's trace sampling rate: one
+// query in this many gets stage spans recorded into /debug/traces.
+const DefaultTraceSample = 64
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -90,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
 	}
+	if c.Obs == nil {
+		c.Obs = obs.New(obs.Options{TraceSample: DefaultTraceSample})
+	}
 	return c
 }
 
@@ -101,6 +121,13 @@ type request struct {
 	res   []float64
 	stats core.QueryStats
 	err   error
+
+	// Observability: when the request was enqueued and dequeued (queue-wait
+	// histogram and "admission" span), and the sampled trace it belongs to,
+	// nil for untraced queries.
+	enq time.Time
+	deq time.Time
+	at  *obs.ActiveTrace
 }
 
 // Result is a completed query: the score vector (shared and read-only when
@@ -122,6 +149,7 @@ type Result struct {
 type Executor struct {
 	eng *core.Engine
 	cfg Config
+	obs *obs.Observer
 
 	reqs chan *request
 	mu   sync.RWMutex // guards closed vs. sends on reqs
@@ -155,9 +183,14 @@ func New(eng *core.Engine, cfg Config) *Executor {
 	e := &Executor{
 		eng:     eng,
 		cfg:     cfg,
+		obs:     cfg.Obs,
 		reqs:    make(chan *request, cfg.QueueDepth),
 		flights: make(map[int]*flight),
 	}
+	// Live convergence telemetry: one atomic add per solver iteration.
+	// (The hook is engine-wide; a second executor over the same engine
+	// would re-point it.)
+	eng.SetIterHook(func(int, float64) { e.obs.SolverIters.Add(1) })
 	if cfg.CacheEntries > 0 {
 		e.cache = newLRUCache(cfg.CacheEntries)
 	}
@@ -170,6 +203,10 @@ func New(eng *core.Engine, cfg Config) *Executor {
 
 // Config returns the executor's effective (defaulted) configuration.
 func (e *Executor) Config() Config { return e.cfg }
+
+// Observer exposes the executor's telemetry sinks (for the server's
+// /metrics and /debug/traces endpoints).
+func (e *Executor) Observer() *obs.Observer { return e.obs }
 
 // Close stops accepting work, lets queued requests drain, and waits for the
 // workers to exit. It is idempotent.
@@ -194,6 +231,7 @@ func (e *Executor) worker() {
 	ctxs := make([]context.Context, 0, e.cfg.MaxBatch)
 	qs := make([][]float64, 0, e.cfg.MaxBatch)
 	for r := range e.reqs {
+		r.deq = e.obs.Now()
 		batch = append(batch[:0], r)
 		// Take whatever is already queued, then hold the batch open for
 		// the batch window to let concurrent arrivals coalesce.
@@ -204,6 +242,7 @@ func (e *Executor) worker() {
 				if !ok {
 					break drain
 				}
+				r2.deq = e.obs.Now()
 				batch = append(batch, r2)
 			default:
 				break drain
@@ -218,6 +257,7 @@ func (e *Executor) worker() {
 					if !ok {
 						break window
 					}
+					r2.deq = e.obs.Now()
 					batch = append(batch, r2)
 				case <-timer.C:
 					break window
@@ -227,48 +267,109 @@ func (e *Executor) worker() {
 		}
 
 		e.m.observeBatch(len(batch))
+		tSolve := e.obs.Now()
 		ctxs = ctxs[:0]
 		qs = qs[:0]
 		for _, br := range batch {
+			e.obs.QueueWait.Observe(br.deq.Sub(br.enq).Seconds())
+			if br.at != nil {
+				br.at.AddSpan("admission", br.enq, br.deq)
+				br.at.AddSpan("batch", br.deq, tSolve)
+				br.at.SetBatch(len(batch))
+			}
 			ctxs = append(ctxs, br.ctx)
 			qs = append(qs, br.q)
 		}
 		res, stats, errs := e.eng.QueryVectorBatch(ctxs, qs, ws)
+		tEnd := e.obs.Now()
+		e.obs.BatchLatency.Observe(tEnd.Sub(tSolve).Seconds())
 		for i, br := range batch {
+			if br.at != nil {
+				br.at.AddSpan("solve", tSolve, tEnd)
+				br.at.SetSolve(stats[i].Iterations, stats[i].Residual)
+			}
+			if errs[i] == nil {
+				e.obs.Iterations.Observe(float64(stats[i].Iterations))
+				e.obs.Residual.Observe(stats[i].Residual)
+			}
 			br.res, br.stats, br.err = res[i], stats[i], errs[i]
 			close(br.done)
 		}
 	}
 }
 
-// submit enqueues a query, shedding with ErrOverloaded when the queue is
-// full and ErrClosed after shutdown.
-func (e *Executor) submit(ctx context.Context, q []float64) (*request, error) {
-	r := &request{ctx: ctx, q: q, done: make(chan struct{})}
+// queryObs is the observability state of one query moving through the
+// executor: its start time, its sampled trace (nil when untraced), and
+// whether the trace had to be abandoned because the requester gave up
+// while a worker still held it.
+type queryObs struct {
+	start     time.Time
+	at        *obs.ActiveTrace
+	abandoned bool
+}
+
+// startQuery opens the query's observation window.
+func (e *Executor) startQuery(kind string, seed int) queryObs {
+	start := e.obs.Now()
+	return queryObs{start: start, at: e.obs.Tracer.Begin(kind, seed)}
+}
+
+// span closes a stage span on the sampled trace, reading the clock only
+// when the query is actually traced.
+func (e *Executor) span(at *obs.ActiveTrace, name string, from time.Time) {
+	if at != nil {
+		at.AddSpan(name, from, e.obs.Now())
+	}
+}
+
+// finish records the query's completion: the latency histogram, the trace
+// ring, and the slow-query log. An abandoned trace (deadline hit while a
+// worker still held it) is dropped rather than raced.
+func (e *Executor) finish(qo *queryObs, kind string, seed int, res *Result, err error) {
+	end := e.obs.Now()
+	total := end.Sub(qo.start)
+	e.obs.QueryLatency.Observe(total.Seconds())
+	at := qo.at
+	if qo.abandoned {
+		at = nil
+	}
+	if at != nil {
+		at.SetErr(err)
+		at.Finish(end)
+	}
+	if sl := e.obs.SlowLog; sl.Slow(total) {
+		sl.Log(kind, seed, total, res.Cached, res.Coalesced,
+			res.Stats.Iterations, res.Stats.Residual, err, at.Spans())
+	}
+}
+
+// submit enqueues a prepared request, shedding with ErrOverloaded when the
+// queue is full and ErrClosed after shutdown.
+func (e *Executor) submit(r *request) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.done {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	select {
 	case e.reqs <- r:
-		return r, nil
+		return nil
 	default:
 		e.m.shed.Add(1)
-		return nil, ErrOverloaded
+		return ErrOverloaded
 	}
 }
 
 // do runs one query through admission control and the pool, honoring the
 // per-query deadline both while waiting and inside the solver.
-func (e *Executor) do(ctx context.Context, q []float64) ([]float64, core.QueryStats, error) {
+func (e *Executor) do(ctx context.Context, q []float64, qo *queryObs) ([]float64, core.QueryStats, error) {
 	if e.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
 		defer cancel()
 	}
-	r, err := e.submit(ctx, q)
-	if err != nil {
+	r := &request{ctx: ctx, q: q, done: make(chan struct{}), at: qo.at, enq: e.obs.Now()}
+	if err := e.submit(r); err != nil {
 		return nil, core.QueryStats{}, err
 	}
 	select {
@@ -276,23 +377,23 @@ func (e *Executor) do(ctx context.Context, q []float64) ([]float64, core.QuerySt
 		return r.res, r.stats, r.err
 	case <-ctx.Done():
 		// The worker sees the same context and aborts the solve; the
-		// requester does not wait for it.
+		// requester does not wait for it. The worker may still append
+		// spans to the trace afterwards, so the trace is abandoned
+		// (never finished) instead of raced.
+		qo.abandoned = true
 		return nil, core.QueryStats{}, ctx.Err()
 	}
 }
 
-// Query answers a single-seed RWR query: cache hit, coalesce onto an
-// identical in-flight solve, or run through the batched pool.
-func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if seed < 0 || seed >= e.eng.N() {
-		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
-	}
+// run is the execution core of a single-seed query: cache hit, coalesce
+// onto an identical in-flight solve, or solve through the batched pool.
+func (e *Executor) run(ctx context.Context, seed int, qo *queryObs) (Result, error) {
 	if e.cache != nil {
-		if scores, ok := e.cache.get(seed); ok {
+		scores, ok := e.cache.get(seed)
+		e.span(qo.at, "cache", qo.start)
+		if ok {
 			e.m.hits.Add(1)
+			qo.at.SetCached()
 			return Result{Scores: scores, Cached: true}, nil
 		}
 	}
@@ -302,11 +403,15 @@ func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
 	if f, ok := e.flights[seed]; ok {
 		e.fmu.Unlock()
 		e.m.coalesced.Add(1)
+		tw := e.obs.Now()
 		select {
 		case <-f.done:
+			e.span(qo.at, "coalesce", tw)
+			qo.at.SetCoalesced()
 			if f.err != nil {
 				return Result{}, f.err
 			}
+			qo.at.SetSolve(f.stats.Iterations, f.stats.Residual)
 			return Result{Scores: f.res, Stats: f.stats, Coalesced: true}, nil
 		case <-ctx.Done():
 			return Result{}, ctx.Err()
@@ -318,7 +423,7 @@ func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
 
 	q := make([]float64, e.eng.N())
 	q[seed] = 1
-	f.res, f.stats, f.err = e.do(ctx, q)
+	f.res, f.stats, f.err = e.do(ctx, q, qo)
 	if f.err == nil && e.cache != nil {
 		e.cache.put(seed, f.res)
 	}
@@ -334,6 +439,21 @@ func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
 	return Result{Scores: f.res, Stats: f.stats}, nil
 }
 
+// Query answers a single-seed RWR query: cache hit, coalesce onto an
+// identical in-flight solve, or run through the batched pool.
+func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if seed < 0 || seed >= e.eng.N() {
+		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
+	}
+	qo := e.startQuery("query", seed)
+	res, err := e.run(ctx, seed, &qo)
+	e.finish(&qo, "query", seed, &res, err)
+	return res, err
+}
+
 // Personalized answers an arbitrary-distribution PPR query through the
 // batched pool. q must have length N; it is not cached (the key space is
 // unbounded) but still benefits from pooled workspaces and batching.
@@ -344,20 +464,40 @@ func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error
 	if len(q) != e.eng.N() {
 		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), e.eng.N())
 	}
+	qo := e.startQuery("personalized", -1)
 	e.m.misses.Add(1)
-	scores, stats, err := e.do(ctx, q)
+	scores, stats, err := e.do(ctx, q, &qo)
+	var res Result
+	if err == nil {
+		res = Result{Scores: scores, Stats: stats}
+	}
+	e.finish(&qo, "personalized", -1, &res, err)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Scores: scores, Stats: stats}, nil
+	return res, nil
 }
 
 // TopK returns the k highest-scoring nodes for a seed (seed excluded),
-// served through the cache and pool like Query.
+// served through the cache and pool like Query. The ranking runs inside
+// the query's observation window, so traces gain a "rank" span and the
+// latency histogram covers it.
 func (e *Executor) TopK(ctx context.Context, seed, k int) ([]core.Ranked, Result, error) {
-	res, err := e.Query(ctx, seed)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if seed < 0 || seed >= e.eng.N() {
+		return nil, Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
+	}
+	qo := e.startQuery("query", seed)
+	res, err := e.run(ctx, seed, &qo)
 	if err != nil {
+		e.finish(&qo, "query", seed, &res, err)
 		return nil, Result{}, err
 	}
-	return core.RankTopK(res.Scores, k, seed), res, nil
+	tr := e.obs.Now()
+	top := core.RankTopK(res.Scores, k, seed)
+	e.span(qo.at, "rank", tr)
+	e.finish(&qo, "query", seed, &res, nil)
+	return top, res, nil
 }

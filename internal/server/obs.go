@@ -1,0 +1,170 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bepi/internal/obs"
+	"bepi/internal/qexec"
+)
+
+// wantsProm reports whether the /metrics request asked for the Prometheus
+// text format: a Prometheus scraper advertises text/plain (or the
+// OpenMetrics type) in Accept, and `?format=prometheus` forces it. The
+// JSON default keeps the endpoint's pre-existing shape for dashboards.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleMetricsProm writes the full Prometheus exposition: served-traffic
+// counters, qexec counters and histograms, preprocessing stats, and Go
+// runtime health.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	s.writeProm(p)
+	if err := p.Err(); err != nil {
+		// Too late for a status change; surface the bug in the body where
+		// the scraper's parse failure will point at it.
+		http.Error(w, "exposition error: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) writeProm(p *obs.PromWriter) {
+	// Served traffic.
+	p.Counter("bepi_queries_total", "Single-seed queries served.", float64(s.queries.Load()))
+	p.Counter("bepi_personalized_total", "Personalized (multi-seed) queries served.", float64(s.personalized.Load()))
+	p.Counter("bepi_errors_total", "Requests answered with an error status.", float64(s.errors.Load()))
+
+	// Query-execution subsystem counters.
+	xm := s.exec.Metrics()
+	p.Counter("bepi_cache_hits_total", "Queries answered from the score cache.", float64(xm.CacheHits))
+	p.Counter("bepi_cache_misses_total", "Queries past the cache.", float64(xm.CacheMisses))
+	p.Counter("bepi_coalesced_total", "Queries that rode an identical in-flight solve.", float64(xm.Coalesced))
+	p.Counter("bepi_shed_total", "Requests shed by admission control.", float64(xm.Shed))
+	p.Gauge("bepi_cache_entries", "Cached score vectors.", float64(xm.CacheEntries))
+	p.Gauge("bepi_queue_depth", "Requests waiting in the admission queue.", float64(xm.Queued))
+	p.CounterHist("bepi_batch_size", "Queries coalesced per multi-RHS engine solve.",
+		qexec.BatchBuckets(), xm.BatchSizeHist[:], float64(xm.Executed))
+
+	// Observer histograms and live counters.
+	o := s.exec.Observer()
+	p.Counter("bepi_solver_iterations_total", "Iterative-solver iterations across all solves.", float64(o.SolverIters.Load()))
+	if sl := o.SlowLog; sl != nil {
+		p.Counter("bepi_slow_queries_total", "Queries slower than the slow-query threshold.", float64(sl.Count()))
+	}
+	if o.QueryLatency != nil {
+		p.Histogram("bepi_query_latency_seconds", "End-to-end executor latency per query.", o.QueryLatency.Snapshot())
+	}
+	if o.BatchLatency != nil {
+		p.Histogram("bepi_batch_solve_seconds", "Wall time of each multi-RHS engine solve.", o.BatchLatency.Snapshot())
+	}
+	if o.QueueWait != nil {
+		p.Histogram("bepi_queue_wait_seconds", "Admission-queue wait per solved query.", o.QueueWait.Snapshot())
+	}
+	if o.Iterations != nil {
+		p.Histogram("bepi_query_iterations", "Schur-solver iterations per solved query.", o.Iterations.Snapshot())
+	}
+	if o.Residual != nil {
+		p.Histogram("bepi_query_residual", "Final relative residual per solved query.", o.Residual.Snapshot())
+	}
+
+	// Index and preprocessing (Table 2 / Figure 1 quantities, live).
+	st := s.eng.Internal().PrepStats()
+	p.Gauge("bepi_index_bytes", "Preprocessed index size.", float64(s.eng.MemoryBytes()))
+	p.Gauge("bepi_nodes", "Graph nodes.", float64(st.N))
+	p.Gauge("bepi_edges", "Graph edges.", float64(st.M))
+	p.Gauge("bepi_schur_nnz", "Nonzeros in the Schur complement.", float64(st.SchurNNZ))
+	p.Gauge("bepi_hub_ratio", "Hub selection ratio k.", st.HubRatio)
+	p.Gauge("bepi_prep_workers", "Effective parallel workers during preprocessing.", float64(st.Workers))
+	p.GaugeVec("bepi_partition_size", "Nodes per block of the hub-and-spoke reordering.", "block",
+		map[string]float64{
+			"spokes":   float64(st.N1),
+			"hubs":     float64(st.N2),
+			"deadends": float64(st.N3),
+		})
+	p.GaugeVec("bepi_prep_stage_seconds", "Preprocessing wall time by stage.", "stage",
+		map[string]float64{
+			"reorder":    st.Reorder.Seconds(),
+			"build_h":    st.BuildH.Seconds(),
+			"factor_h11": st.FactorH11.Seconds(),
+			"schur":      st.Schur.Seconds(),
+			"ilu":        st.ILU.Seconds(),
+			"total":      st.Total.Seconds(),
+		})
+
+	obs.WriteGoStats(p)
+}
+
+// TraceResponse is the /debug/traces payload.
+type TraceResponse struct {
+	Count  int         `json:"count"`
+	Traces []obs.Trace `json:"traces"`
+}
+
+// handleTraces serves the most recent finished query traces, newest first.
+// `?n=` bounds the count (default 50, capped by the ring size).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		var err error
+		n, err = strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+	}
+	traces := s.exec.Observer().Tracer.Recent(n)
+	if traces == nil {
+		traces = []obs.Trace{} // tracing disabled: an empty list, not null
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Count: len(traces), Traces: traces})
+}
+
+// LatencySummary is the JSON quantile summary of one latency histogram.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{
+		Count: int64(s.Count),
+		P50MS: s.Quantile(0.50) * 1e3,
+		P90MS: s.Quantile(0.90) * 1e3,
+		P99MS: s.Quantile(0.99) * 1e3,
+	}
+}
+
+// PrepMetrics is core.PrepStats in the /metrics JSON payload: stage wall
+// times plus the partition sizes preprocessing decided on.
+type PrepMetrics struct {
+	TotalMS     float64 `json:"total_ms"`
+	ReorderMS   float64 `json:"reorder_ms"`
+	BuildHMS    float64 `json:"build_h_ms"`
+	FactorH11MS float64 `json:"factor_h11_ms"`
+	SchurMS     float64 `json:"schur_ms"`
+	ILUMS       float64 `json:"ilu_ms"`
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Spokes      int     `json:"spokes"`
+	Hubs        int     `json:"hubs"`
+	Deadends    int     `json:"deadends"`
+	Blocks      int     `json:"blocks"`
+	SchurNNZ    int     `json:"schur_nnz"`
+	HubRatio    float64 `json:"hub_ratio"`
+	Workers     int     `json:"workers"`
+}

@@ -10,9 +10,15 @@
 //
 //	GET  /healthz                          liveness probe
 //	GET  /stats                            index statistics
-//	GET  /metrics                          traffic + qexec counters
+//	GET  /metrics                          traffic + qexec counters, latency
+//	                                       quantiles, prep stats (JSON;
+//	                                       Prometheus text when Accept says
+//	                                       text/plain or ?format=prometheus)
+//	GET  /metrics.prom                     always Prometheus text format
+//	GET  /debug/traces?n=K                 recent per-query stage traces
 //	GET  /query?seed=N&topk=K              top-K ranking for a seed
 //	GET  /query?seed=N&full=true           the full score vector
+//	GET  /query?seed=N&debug=1             adds solver/stage detail
 //	POST /personalized {"weights":{...}}   multi-seed PPR ranking
 package server
 
@@ -60,6 +66,8 @@ func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/personalized", s.handlePersonalized)
 	return s
@@ -91,9 +99,25 @@ type MetricsResponse struct {
 	Batches       int64   `json:"batches"`
 	Executed      int64   `json:"executed"`
 	BatchSizeHist []int64 `json:"batch_size_hist"` // buckets ≤1, ≤2, ≤4, ≤8, ≤16, +Inf
+	Queued        int     `json:"queued"`
+	HitRate       float64 `json:"hit_rate"`
+	AvgBatchSize  float64 `json:"avg_batch_size"`
+
+	// Observability layer: solver progress, latency quantiles, slow queries.
+	SolverIters  int64          `json:"solver_iters_total"`
+	SlowQueries  int64          `json:"slow_queries"`
+	QueryLatency LatencySummary `json:"query_latency"`
+	QueueWait    LatencySummary `json:"queue_wait"`
+
+	// Prep is the preprocessing stage/size breakdown (core.PrepStats).
+	Prep PrepMetrics `json:"prep"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		s.handleMetricsProm(w, r)
+		return
+	}
 	q := s.queries.Load() + s.personalized.Load()
 	var avg float64
 	if q > 0 {
@@ -105,6 +129,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ratio = float64(q) * avg / prepMS
 	}
 	xm := s.exec.Metrics()
+	o := s.exec.Observer()
+	st := s.eng.Internal().PrepStats()
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	var slow int64
+	if o.SlowLog != nil {
+		slow = o.SlowLog.Count()
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Queries:         s.queries.Load(),
 		Personalized:    s.personalized.Load(),
@@ -121,6 +152,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Batches:         xm.Batches,
 		Executed:        xm.Executed,
 		BatchSizeHist:   xm.BatchSizeHist[:],
+		Queued:          xm.Queued,
+		HitRate:         xm.HitRate(),
+		AvgBatchSize:    xm.AvgBatchSize(),
+		SolverIters:     o.SolverIters.Load(),
+		SlowQueries:     slow,
+		QueryLatency:    summarize(o.QueryLatency),
+		QueueWait:       summarize(o.QueueWait),
+		Prep: PrepMetrics{
+			TotalMS:     ms(st.Total),
+			ReorderMS:   ms(st.Reorder),
+			BuildHMS:    ms(st.BuildH),
+			FactorH11MS: ms(st.FactorH11),
+			SchurMS:     ms(st.Schur),
+			ILUMS:       ms(st.ILU),
+			Nodes:       st.N,
+			Edges:       st.M,
+			Spokes:      st.N1,
+			Hubs:        st.N2,
+			Deadends:    st.N3,
+			Blocks:      st.Blocks,
+			SchurNNZ:    st.SchurNNZ,
+			HubRatio:    st.HubRatio,
+			Workers:     st.Workers,
+		},
 	})
 }
 
@@ -214,6 +269,40 @@ type QueryResponse struct {
 	Iterations int           `json:"iterations"`
 	DurationMS float64       `json:"duration_ms"`
 	Cached     bool          `json:"cached,omitempty"`
+	Debug      *QueryDebug   `json:"debug,omitempty"`
+}
+
+// QueryDebug is the per-query solver and stage detail returned when the
+// request asks for ?debug=1.
+type QueryDebug struct {
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	Cached     bool    `json:"cached"`
+	Coalesced  bool    `json:"coalesced"`
+	// Engine stage wall times in milliseconds (zero for cache hits, which
+	// never reach the engine). Shared phases report the whole batch's time;
+	// solve_ms is this query's own Schur solve.
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
+}
+
+func queryDebug(res qexec.Result) *QueryDebug {
+	d := &QueryDebug{
+		Iterations: res.Stats.Iterations,
+		Residual:   res.Stats.Residual,
+		Cached:     res.Cached,
+		Coalesced:  res.Coalesced,
+	}
+	st := res.Stats.Stages
+	if !res.Cached && st.Solve > 0 {
+		ms := func(t time.Duration) float64 { return float64(t.Microseconds()) / 1000 }
+		d.StageMS = map[string]float64{
+			"permute_ms": ms(st.Permute),
+			"forward_ms": ms(st.Forward),
+			"solve_ms":   ms(st.Solve),
+			"back_ms":    ms(st.Back),
+		}
+	}
+	return d
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -239,8 +328,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	full := r.URL.Query().Get("full") == "true"
 	start := time.Now()
-	res, err := s.exec.Query(r.Context(), seed)
+	var res qexec.Result
+	var top []core.Ranked
+	if full {
+		res, err = s.exec.Query(r.Context(), seed)
+	} else {
+		// One solve serves both the scores and the ranking; the cached
+		// vector is ranked without touching the engine again. Ranking runs
+		// inside the executor so traces carry the "rank" span.
+		top, res, err = s.exec.TopK(r.Context(), seed, topk)
+	}
 	if err != nil {
 		s.failQuery(w, err)
 		return
@@ -253,12 +352,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
 		Cached:     res.Cached,
 	}
-	if r.URL.Query().Get("full") == "true" {
+	if r.URL.Query().Get("debug") == "1" {
+		resp.Debug = queryDebug(res)
+	}
+	if full {
 		resp.Scores = res.Scores
 	} else {
-		// One solve serves both the scores and the ranking; the cached
-		// vector is ranked without touching the engine again.
-		top := core.RankTopK(res.Scores, topk, seed)
 		resp.Top = make([]RankedEntry, len(top))
 		for i, t := range top {
 			resp.Top[i] = RankedEntry{Node: t.Node, Score: t.Score}

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"bepi"
+	"bepi/internal/obs"
+	"bepi/internal/qexec"
 )
 
 func testServer(t *testing.T) (*Server, *bepi.Engine) {
@@ -18,7 +20,10 @@ func testServer(t *testing.T) (*Server, *bepi.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(eng), eng
+	// Trace every query (the default samples 1-in-N) so trace assertions
+	// are deterministic.
+	s := NewWithConfig(eng, qexec.Config{Obs: obs.New(obs.Options{})})
+	return s, eng
 }
 
 func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {

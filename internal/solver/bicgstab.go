@@ -79,6 +79,9 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 			vec.AXPY(alpha, p, x)
 			stats.Residual = res
 			stats.Converged = true
+			if opts.OnIteration != nil {
+				opts.OnIteration(iter, res)
+			}
 			if opts.Callback != nil {
 				opts.Callback(iter, x)
 			}
@@ -98,6 +101,9 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 			r[i] = s[i] - omega*tv[i]
 		}
 		stats.Residual = vec.Norm2(r) / normB
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, stats.Residual)
+		}
 		if opts.Callback != nil {
 			opts.Callback(iter, x)
 		}

@@ -1,0 +1,59 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// diagOp is a diagonal operator for solver unit tests.
+type diagOp []float64
+
+func (d diagOp) MulVec(dst, x []float64) {
+	for i := range dst {
+		dst[i] = d[i] * x[i]
+	}
+}
+
+// TestOnIteration checks the cheap per-iteration hook: it must fire once
+// per iteration with a monotonically increasing count, and its last
+// residual must match the returned stats — for both solvers.
+func TestOnIteration(t *testing.T) {
+	n := 50
+	a := make(diagOp, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = 1 + float64(i%7)
+		b[i] = float64(i + 1)
+	}
+	run := func(name string, solve func(Operator, []float64, GMRESOptions) ([]float64, Stats, error)) {
+		var iters []int
+		var lastRes float64
+		opts := GMRESOptions{
+			Tol: 1e-10,
+			OnIteration: func(iter int, residual float64) {
+				iters = append(iters, iter)
+				lastRes = residual
+			},
+		}
+		_, stats, err := solve(a, b, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(iters) == 0 {
+			t.Fatalf("%s: hook never fired", name)
+		}
+		for i, it := range iters {
+			if it != i+1 {
+				t.Fatalf("%s: iteration sequence %v not 1..n", name, iters)
+			}
+		}
+		if iters[len(iters)-1] != stats.Iterations {
+			t.Fatalf("%s: hook saw %d iterations, stats %d", name, iters[len(iters)-1], stats.Iterations)
+		}
+		if math.Abs(lastRes-stats.Residual) > 1e-15 {
+			t.Fatalf("%s: hook residual %g, stats %g", name, lastRes, stats.Residual)
+		}
+	}
+	run("GMRES", GMRES)
+	run("BiCGSTAB", BiCGSTAB)
+}

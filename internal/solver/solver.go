@@ -62,6 +62,11 @@ type GMRESOptions struct {
 	// Arnoldi step. Assembling the iterate costs a triangular solve and a
 	// basis combination per step; intended for accuracy experiments.
 	Callback func(iter int, x []float64)
+	// OnIteration, if non-nil, receives the iteration count and current
+	// relative residual after every solver iteration. Unlike Callback it
+	// does not assemble the iterate — it is a couple of loads per call —
+	// so the serving path uses it for live convergence telemetry.
+	OnIteration func(iter int, residual float64)
 	// Ctx, if non-nil, is checked once per iteration; when it is done the
 	// solve aborts with an error wrapping ctx.Err(). This is how per-query
 	// deadlines reach the innermost loop of the serving path.
@@ -187,6 +192,9 @@ func GMRES(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, error)
 			stats.Iterations++
 			steps = j + 1
 			stats.Residual = math.Abs(g[j+1]) / normT
+			if opts.OnIteration != nil {
+				opts.OnIteration(stats.Iterations, stats.Residual)
+			}
 			if opts.Callback != nil {
 				xj := assemble(arena{n: n}, x, v, h, g, steps)
 				opts.Callback(stats.Iterations, xj)
