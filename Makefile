@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels profile
 
 build:
 	$(GO) build ./...
@@ -38,9 +38,10 @@ race:
 # Focused, repeated race pass over the parallel runtime and the kernels
 # built on it — including the stress test of concurrent engine builds
 # sharing one pool, where interleavings vary run to run — plus the obs
-# histograms' record-vs-snapshot race test.
+# histograms' record-vs-snapshot race test, the level-scheduled ILU
+# triangular solves, and the compact CSR32 kernel paths.
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32' \
 		./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
 		./internal/obs/ ./internal/qexec/
 
@@ -57,6 +58,15 @@ bench:
 bench-par:
 	$(GO) test -run '^$$' -bench 'BenchmarkSchurComplement|BenchmarkFactorBlockDiag' -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkParallelMulVec -benchmem ./internal/sparse/
+
+# Smoke-run the bandwidth-lean kernel benchmarks — fused Schur operator,
+# level-scheduled ILU sweeps, compact CSR32 SpMV — at a fixed small
+# iteration count so CI catches kernel regressions (compile errors, panics,
+# gross slowdowns) without paying for a full benchmark run.
+bench-kernels:
+	$(GO) test -run '^$$' -bench BenchmarkSchurOperator -benchtime=100x -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkILUApplyLevels -benchtime=100x -benchmem ./internal/lu/
+	$(GO) test -run '^$$' -bench BenchmarkCSR32MulVec -benchtime=100x -benchmem ./internal/sparse/
 
 # Capture a CPU profile from a running bepi-serve (start it with
 # -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:

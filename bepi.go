@@ -196,6 +196,20 @@ func WithParallelism(n int) Option {
 	return func(o *core.Options) { o.Parallelism = n }
 }
 
+// WithCompact selects the in-memory matrix layout: true (the default) keeps
+// the preprocessed matrices in the compact CSR32 form (uint32 column
+// indices, narrow row pointers — roughly half the index bytes), false keeps
+// the wide CSR form. Query results are bit-identical either way.
+func WithCompact(on bool) Option {
+	return func(o *core.Options) {
+		if on {
+			o.Compact = core.CompactOn
+		} else {
+			o.Compact = core.CompactOff
+		}
+	}
+}
+
 // Engine is a preprocessed RWR index. It is safe for concurrent queries.
 type Engine struct {
 	inner *core.Engine
@@ -276,6 +290,14 @@ func (e *Engine) MemoryBytes() int64 { return e.inner.MemoryBytes() }
 // with Load start on the shared pool; call this before serving queries —
 // it must not race with them.
 func (e *Engine) SetParallelism(n int) { e.inner.SetParallelism(n) }
+
+// SetCompact switches the engine between the compact CSR32 layout (true)
+// and the wide CSR layout (false) in place. Not safe to call concurrently
+// with queries.
+func (e *Engine) SetCompact(on bool) { e.inner.SetCompact(on) }
+
+// Compacted reports whether the compact layout is active.
+func (e *Engine) Compacted() bool { return e.inner.Compacted() }
 
 // PreprocessTime reports how long preprocessing took.
 func (e *Engine) PreprocessTime() time.Duration { return e.inner.PrepStats().Total }

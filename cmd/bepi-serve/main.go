@@ -59,6 +59,13 @@ func pprofServer(addr string) *http.Server {
 	return srv
 }
 
+func layoutName(compact bool) string {
+	if compact {
+		return "compact CSR32"
+	}
+	return "wide CSR"
+}
+
 func main() {
 	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (required)")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -69,6 +76,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "LRU score-cache capacity (0 = default 1024, negative disables)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline enforced inside the solver (0 = none)")
 	parallelism := flag.Int("parallelism", 0, "per-solve kernel worker cap (0 = keep engine default, 1 = serial kernels)")
+	compact := flag.Bool("compact", true, "serve from the compact CSR32 matrix layout (false = wide CSR; results are bit-identical)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold via slog (0 = disabled)")
 	traceSample := flag.Int("trace-sample", qexec.DefaultTraceSample, "trace every Nth query into /debug/traces (1 = all; tracing allocates, sampling keeps it off the hot path)")
@@ -88,8 +96,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("bepi-serve: loading index: %v", err)
 	}
-	log.Printf("loaded %s (%d nodes, %d bytes) in %v",
-		*indexPath, eng.N(), eng.MemoryBytes(), time.Since(start).Round(time.Millisecond))
+	// Loaded engines are compact by default; -compact=false widens them.
+	if eng.Compacted() != *compact {
+		eng.SetCompact(*compact)
+	}
+	log.Printf("loaded %s (%d nodes, %d bytes, %s layout) in %v",
+		*indexPath, eng.N(), eng.MemoryBytes(), layoutName(eng.Compacted()),
+		time.Since(start).Round(time.Millisecond))
 
 	handler := server.NewWithConfig(eng, qexec.Config{
 		Workers:      *workers,

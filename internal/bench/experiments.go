@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"fig12", "Figure 12 (App. K): total running time (preprocessing + 30 queries)", Fig12},
 		{"prepstages", "Beyond paper: per-stage preprocessing wall times and parallel worker count", PrepStages},
 		{"serving", "Beyond paper: steady-state serving throughput, latency quantiles, cache hit rate", Serving},
+		{"kernels", "Beyond paper: compact CSR32 vs wide CSR, fused vs explicit Schur operator, serial vs leveled ILU sweeps", Kernels},
 	}
 }
 

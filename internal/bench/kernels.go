@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/lu"
+	"bepi/internal/par"
+	"bepi/internal/sparse"
+)
+
+// kernelReps returns how many times each micro-kernel is applied per
+// measurement at the given suite size.
+func kernelReps(s Size) int {
+	switch s {
+	case Full:
+		return 200
+	case Small:
+		return 50
+	default:
+		return 20
+	}
+}
+
+// timeKernel measures the average wall time of reps applications of f.
+func timeKernel(reps int, f func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// Kernels is the beyond-paper kernel A/B experiment: per dataset it
+// measures the three optimizations of the bandwidth-lean kernel layer in
+// isolation — the compact CSR32 layout against wide CSR (index memory and
+// SpMV time on the explicit Schur complement), the fused implicit Schur
+// operator against the explicit solve on the end-to-end query path, and
+// the level-scheduled parallel ILU(0) triangular sweeps against the serial
+// ones. Config.Compact (bepi-bench -compact) selects the layout of the
+// engines used for the query-time A/B, so both layouts can be compared
+// end to end.
+func Kernels(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	reps := kernelReps(cfg.Size)
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	mem := &Table{
+		Title:  "Kernel memory: wide CSR vs compact CSR32",
+		Note:   "whole-engine index bytes; values are float64 in both layouts, only index widths differ",
+		Header: []string{"dataset", "index wide", "index compact", "saving"},
+	}
+	tim := &Table{
+		Title: "Kernel timings: layout, fusion, level-scheduled ILU",
+		Note: fmt.Sprintf("avg of %d applications; queries avg over %d seeds; ILU leveled uses %d workers; query layout: %s",
+			reps, cfg.Seeds, workers, layoutName(cfg.Compact)),
+		Header: []string{"dataset", "S·x wide", "S·x compact", "query explicit", "query fused", "ILU serial", "ILU leveled"},
+	}
+
+	datasets := Suite(cfg.Size)
+	if len(datasets) > 3 {
+		datasets = datasets[:3]
+	}
+	for di, d := range datasets {
+		opts := core.Options{
+			Variant: core.VariantFull, Tol: cfg.Tol, Parallelism: cfg.Parallelism,
+			MemoryBudget: cfg.Budget.Memory, Deadline: cfg.Budget.Deadline,
+			Compact: cfg.Compact,
+		}
+		e, err := core.Preprocess(d.G, opts)
+		if err != nil {
+			mem.AddRow(d.Name, classifyCell(err), "-", "-")
+			tim.AddRow(d.Name, classifyCell(err), "-", "-", "-", "-", "-")
+			continue
+		}
+
+		// Memory A/B: the same engine in both layouts, restored afterwards
+		// to the layout Config.Compact asked for.
+		e.SetCompact(false)
+		wideBytes := e.MemoryBytes()
+		e.SetCompact(true)
+		compBytes := e.MemoryBytes()
+		e.SetCompact(cfg.Compact != core.CompactOff)
+		mem.AddRow(d.Name, FmtBytes(wideBytes), FmtBytes(compBytes),
+			fmt.Sprintf("%.1f%%", 100*(1-float64(compBytes)/float64(wideBytes))))
+
+		// Explicit Schur SpMV, wide vs compact layout.
+		s := e.Schur()
+		c32 := sparse.Compact(s)
+		x := make([]float64, s.Cols())
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		y := make([]float64, s.Rows())
+		spmvWide := timeKernel(reps, func() { s.MulVec(y, x) })
+		spmvComp := timeKernel(reps, func() { c32.MulVec(y, x) })
+
+		// Query path, explicit S vs fused implicit operator; both engines
+		// share the layout selected by Config.Compact.
+		iopts := opts
+		iopts.ImplicitSchur = true
+		imp, err := core.Preprocess(d.G, iopts)
+		if err != nil {
+			tim.AddRow(d.Name, FmtDuration(spmvWide), FmtDuration(spmvComp),
+				"-", classifyCell(err), "-", "-")
+			continue
+		}
+		seeds := QuerySeeds(d.G, cfg.Seeds, int64(di))
+		queryAvg := func(eng *core.Engine) (time.Duration, error) {
+			start := time.Now()
+			for _, seed := range seeds {
+				if _, _, err := eng.Query(seed); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start) / time.Duration(len(seeds)), nil
+		}
+		qExplicit, err := queryAvg(e)
+		if err != nil {
+			return nil, fmt.Errorf("bench: kernels explicit query on %s: %w", d.Name, err)
+		}
+		qFused, err := queryAvg(imp)
+		if err != nil {
+			return nil, fmt.Errorf("bench: kernels fused query on %s: %w", d.Name, err)
+		}
+
+		// ILU(0) triangular sweeps: serial vs level-scheduled parallel.
+		ilu, err := lu.FactorILU0(s)
+		if err != nil {
+			return nil, fmt.Errorf("bench: kernels ILU on %s: %w", d.Name, err)
+		}
+		src := make([]float64, s.Rows())
+		for i := range src {
+			src[i] = float64(i%5) - 2
+		}
+		dst := make([]float64, s.Rows())
+		iluSerial := timeKernel(reps, func() { ilu.Apply(dst, src) })
+		ilu.SetPool(par.NewPool(workers))
+		iluLeveled := timeKernel(reps, func() { ilu.Apply(dst, src) })
+
+		tim.AddRow(d.Name,
+			FmtDuration(spmvWide), FmtDuration(spmvComp),
+			FmtDuration(qExplicit), FmtDuration(qFused),
+			FmtDuration(iluSerial), FmtDuration(iluLeveled))
+	}
+	return []*Table{mem, tim}, nil
+}
+
+// layoutName renders the CompactMode selected for query-path engines.
+func layoutName(m core.CompactMode) string {
+	if m == core.CompactOff {
+		return "wide CSR"
+	}
+	return "compact CSR32"
+}

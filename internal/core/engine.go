@@ -93,7 +93,39 @@ type Options struct {
 	// engine its own n-worker pool. Parallel and serial execution produce
 	// bit-identical results.
 	Parallelism int
+	// Compact selects the storage layout of the preprocessed matrices
+	// (H12/H21/H31/H32, the Schur complement, and the ILU factors).
+	// CompactAuto — the zero value, i.e. the default — narrows the index
+	// arrays to 32 bits after preprocessing, cutting their footprint and
+	// the bytes every solve iteration streams roughly in half; query
+	// results are bit-identical to the wide layout. CompactOff keeps the
+	// wide CSR layout. The mode is a runtime knob (see SetCompact), not
+	// part of the serialized index.
+	Compact CompactMode
+	// ImplicitSchur, when true, makes the iterative solver apply the Schur
+	// complement as the fused operator H22·x − H21·(H11⁻¹·(H12·x)) instead
+	// of an explicit SpMV on the precomputed S; the engine then retains the
+	// H22 block. The explicit S is still built (the ILU preconditioner and
+	// the accuracy bound need it). Default false — the explicit operator is
+	// the paper's formulation and the bit-stable baseline. The flag applies
+	// to engines built by Preprocess; a loaded index always serves the
+	// explicit operator.
+	ImplicitSchur bool
 }
+
+// CompactMode selects between the wide CSR and compact CSR32 index layouts
+// for the engine's stored matrices.
+type CompactMode int
+
+const (
+	// CompactAuto (the default) compacts whenever the index range allows.
+	CompactAuto CompactMode = iota
+	// CompactOn compacts, like CompactAuto; the distinct value lets
+	// configuration layers express an explicit choice.
+	CompactOn
+	// CompactOff keeps the wide layout.
+	CompactOff
+)
 
 func (o Options) withDefaults() Options {
 	if o.C <= 0 || o.C >= 1 {
@@ -197,8 +229,9 @@ type Engine struct {
 	n    int
 	ord  *reorder.Ordering
 
-	h12, h21, h31, h32 *sparse.CSR
-	schur              *sparse.CSR
+	h12, h21, h31, h32 mat
+	schur              mat
+	h22                mat // retained only when opts.ImplicitSchur
 	h11LU              *lu.BlockLU
 	ilu                *lu.ILU // nil unless VariantFull
 
@@ -210,11 +243,25 @@ type Engine struct {
 	// layer. It must be safe for concurrent calls (solves run on many
 	// workers) and cheap (it fires once per solver iteration).
 	iterHook func(iter int, residual float64)
+
+	// kernelHook, when set, receives one sample per hot-path kernel
+	// application during iterative solves: the kernel name (KernelSchur,
+	// KernelPrecond), its wall time, and the approximate bytes it moved.
+	// Same contract as iterHook: concurrent-safe and cheap.
+	kernelHook func(kernel string, seconds float64, bytes int64)
 }
 
 // SetIterHook installs a per-iteration solver observer (nil removes it).
 // Set it before serving queries; it must not race with in-flight solves.
 func (e *Engine) SetIterHook(f func(iter int, residual float64)) { e.iterHook = f }
+
+// SetKernelHook installs a per-kernel-application observer (nil removes
+// it): each Schur-operator and preconditioner application during an
+// iterative solve reports (kernel, seconds, bytes moved). Set it before
+// serving queries; it must not race with in-flight solves.
+func (e *Engine) SetKernelHook(f func(kernel string, seconds float64, bytes int64)) {
+	e.kernelHook = f
+}
 
 // poolFor resolves the Parallelism option to a pool: 0 shares the
 // process-wide pool, 1 is serial (nil pool), n > 1 is a dedicated pool.
@@ -229,15 +276,64 @@ func poolFor(parallelism int) *par.Pool {
 	}
 }
 
-// attachPool points every stored matrix at the engine's pool so the
-// query-path SpMVs row-partition across it.
+// attachPool points every stored matrix (and the ILU factors) at the
+// engine's pool so the query-path SpMVs and triangular sweeps
+// row-partition across it.
 func (e *Engine) attachPool() {
-	for _, m := range []*sparse.CSR{e.h12, e.h21, e.h31, e.h32, e.schur} {
+	for _, m := range []mat{e.h12, e.h21, e.h31, e.h32, e.schur, e.h22} {
 		if m != nil {
-			m.SetPool(e.pool)
+			matSetPool(m, e.pool)
 		}
 	}
+	if e.ilu != nil {
+		e.ilu.SetPool(e.pool)
+	}
 	e.prep.Workers = e.pool.Workers()
+}
+
+// setCompactMatrices converts every stored matrix (and the ILU factors)
+// to the requested layout in place. Narrowing shares the value slices, so
+// only the index arrays are rebuilt; widening a compacted ILU re-factors
+// it from the (widened) Schur complement, which reproduces the original
+// factors exactly.
+func (e *Engine) setCompactMatrices(on bool) {
+	conv := widenMat
+	if on {
+		conv = compactMat
+	}
+	e.h12, e.h21, e.h31, e.h32 = conv(e.h12), conv(e.h21), conv(e.h31), conv(e.h32)
+	e.schur = conv(e.schur)
+	e.h22 = conv(e.h22)
+	if e.ilu != nil {
+		if on {
+			e.ilu.Compact()
+		} else if e.ilu.Compacted() {
+			if f, err := lu.FactorILU0(asCSR(e.schur)); err == nil {
+				e.ilu = f
+			}
+		}
+	}
+	e.attachPool()
+}
+
+// SetCompact switches the engine between the wide CSR and compact CSR32
+// layouts at runtime (the same knob as Options.Compact, for engines
+// already built or loaded). It must not race with in-flight queries.
+// Query results are bit-identical in either layout; only MemoryBytes and
+// the bandwidth the kernels stream change.
+func (e *Engine) SetCompact(on bool) {
+	if on {
+		e.opts.Compact = CompactOn
+	} else {
+		e.opts.Compact = CompactOff
+	}
+	e.setCompactMatrices(on)
+}
+
+// Compacted reports whether the stored matrices use the compact layout.
+func (e *Engine) Compacted() bool {
+	_, ok := e.schur.(*sparse.CSR32)
+	return ok
 }
 
 // SetParallelism re-points the engine (and its matrices) at a pool for the
@@ -286,11 +382,15 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	n1, n2 := e.ord.N1, e.ord.N2
 	l := n1 + n2
 	h11 := h.Block(0, n1, 0, n1)
-	e.h12 = h.Block(0, n1, n1, l)
-	e.h21 = h.Block(n1, l, 0, n1)
+	h12 := h.Block(0, n1, n1, l)
+	h21 := h.Block(n1, l, 0, n1)
 	h22 := h.Block(n1, l, n1, l)
+	e.h12, e.h21 = h12, h21
 	e.h31 = h.Block(l, e.n, 0, n1)
 	e.h32 = h.Block(l, e.n, n1, l)
+	if opts.ImplicitSchur {
+		e.h22 = h22
+	}
 	e.prep.BuildH = time.Since(t0)
 	if err := deadline(); err != nil {
 		return nil, err
@@ -316,21 +416,28 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	// transposes once here and hands them in instead of letting
 	// SchurComplement rebuild them.
 	t0 = time.Now()
-	e.schur = SchurComplementT(h22, e.h21.Transpose(), e.h12.Transpose(), e.h11LU, e.pool)
+	schur := SchurComplementT(h22, h21.Transpose(), h12.Transpose(), e.h11LU, e.pool)
+	e.schur = schur
 	e.prep.Schur = time.Since(t0)
-	e.prep.SchurNNZ = e.schur.NNZ()
+	e.prep.SchurNNZ = schur.NNZ()
 	if err := deadline(); err != nil {
 		return nil, err
 	}
 
-	// 5. ILU(0) preconditioner for the full variant.
+	// 5. ILU(0) preconditioner for the full variant, factored from the wide
+	// S before any index compaction.
 	if opts.Variant == VariantFull {
 		t0 = time.Now()
-		e.ilu, err = lu.FactorILU0(e.schur)
+		e.ilu, err = lu.FactorILU0(schur)
 		if err != nil {
 			return nil, fmt.Errorf("core: ILU(0) of S: %w", err)
 		}
 		e.prep.ILU = time.Since(t0)
+	}
+	// 6. Narrow the index arrays (default on): the wide copies are dropped
+	// here, so the budget check below sees the footprint queries will pay.
+	if opts.Compact != CompactOff {
+		e.setCompactMatrices(true)
 	}
 	e.prep.Total = time.Since(start)
 	if opts.MemoryBudget > 0 && e.MemoryBytes() > opts.MemoryBudget {
@@ -493,18 +600,23 @@ func (e *Engine) PrepStats() PrepStats { return e.prep }
 // Ordering exposes the node ordering (for experiments).
 func (e *Engine) Ordering() *reorder.Ordering { return e.ord }
 
-// Schur exposes the Schur complement (for experiments; read-only).
-func (e *Engine) Schur() *sparse.CSR { return e.schur }
+// Schur exposes the Schur complement (for experiments; read-only). When
+// the engine stores the compact layout this is a widened copy.
+func (e *Engine) Schur() *sparse.CSR { return asCSR(e.schur) }
 
 // MemoryBytes reports the total footprint of the preprocessed data:
-// the H11 LU factors, the partition blocks H12/H21/H31/H32, the Schur
-// complement, and (for full BePI) its ILU factors. This is the quantity in
-// Figure 1(b) of the paper.
+// the H11 LU factors, the partition blocks H12/H21/H31/H32 (plus H22 when
+// the engine applies the Schur complement implicitly), the Schur
+// complement, and (for full BePI) its ILU factors, all at their current
+// index width. This is the quantity in Figure 1(b) of the paper.
 func (e *Engine) MemoryBytes() int64 {
 	total := e.h11LU.MemoryBytes() +
 		e.h12.MemoryBytes() + e.h21.MemoryBytes() +
 		e.h31.MemoryBytes() + e.h32.MemoryBytes() +
 		e.schur.MemoryBytes()
+	if e.h22 != nil {
+		total += e.h22.MemoryBytes()
+	}
 	if e.ilu != nil {
 		total += e.ilu.MemoryBytes()
 	}

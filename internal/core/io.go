@@ -82,8 +82,10 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return n, err
 	}
-	for _, m := range []*sparse.CSR{e.h12, e.h21, e.h31, e.h32, e.schur} {
-		k, err := m.WriteTo(w)
+	// Matrices are serialized in the wide layout regardless of the in-memory
+	// one, so the on-disk format is independent of Options.Compact.
+	for _, m := range []mat{e.h12, e.h21, e.h31, e.h32, e.schur} {
+		k, err := asCSR(m).WriteTo(w)
 		n += k
 		if err != nil {
 			return n, err
@@ -206,7 +208,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	}
 	if e.opts.Variant == VariantFull {
 		t0 := time.Now()
-		if e.ilu, err = lu.FactorILU0(e.schur); err != nil {
+		if e.ilu, err = lu.FactorILU0(mats[4]); err != nil {
 			return nil, fmt.Errorf("core: rebuilding ILU: %w", err)
 		}
 		e.prep.ILU = time.Since(t0)
@@ -216,10 +218,11 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	e.prep.Blocks = nblocks
 	e.prep.SchurNNZ = e.schur.NNZ()
 	e.prep.HubRatio = e.opts.HubRatio
-	// Parallelism is a runtime knob, not part of the index format: a
-	// loaded engine starts on the shared process-wide pool; callers tune
-	// it with SetParallelism before serving.
+	// Parallelism and index compaction are runtime knobs, not part of the
+	// index format: a loaded engine starts on the shared process-wide pool
+	// with compacted indexes (the CompactAuto default); callers tune both
+	// with SetParallelism / SetCompact before serving.
 	e.pool = poolFor(0)
-	e.attachPool()
+	e.setCompactMatrices(true)
 	return e, nil
 }

@@ -32,14 +32,15 @@ func (e *Engine) QueryVector(q []float64) ([]float64, QueryStats, error) {
 
 // solveSchur runs the configured iterative solver on S·r2 = q̃2.
 func (e *Engine) solveSchur(qt2 []float64, cb func(int, []float64)) ([]float64, solver.Stats, error) {
-	return e.solveSchurCtx(context.Background(), qt2, nil, cb)
+	return e.solveSchurCtx(context.Background(), qt2, e.schurOperator(nil), nil, cb)
 }
 
 // solveSchurCtx is solveSchur with a cancellation context threaded into the
-// iterative solver and an optional reusable Krylov workspace. With a
-// workspace, the returned solution points into it and is only valid until
-// the next solve on that workspace.
-func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, ws *solver.Workspace, cb func(int, []float64)) ([]float64, solver.Stats, error) {
+// iterative solver, an explicit Schur operator (see Engine.schurOperator),
+// and an optional reusable Krylov workspace. With a workspace, the returned
+// solution points into it and is only valid until the next solve on that
+// workspace.
+func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, op solver.Operator, ws *solver.Workspace, cb func(int, []float64)) ([]float64, solver.Stats, error) {
 	opts := solver.GMRESOptions{
 		Tol:         e.opts.Tol,
 		MaxIter:     e.opts.MaxIter,
@@ -52,10 +53,17 @@ func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, ws *solver.Wo
 	if e.ilu != nil {
 		opts.Precond = e.ilu
 	}
-	if e.opts.Solver == SolverBiCGSTAB {
-		return solver.BiCGSTAB(e.schur, qt2, opts)
+	if hook := e.kernelHook; hook != nil {
+		op = &timedOperator{op: op, hook: hook, kernel: KernelSchur, bytes: e.schurApplyBytes()}
+		if opts.Precond != nil {
+			opts.Precond = &timedPrecond{pre: opts.Precond, hook: hook, kernel: KernelPrecond,
+				bytes: e.ilu.MemoryBytes() + int64(16*e.ord.N2)}
+		}
 	}
-	return solver.GMRES(e.schur, qt2, opts)
+	if e.opts.Solver == SolverBiCGSTAB {
+		return solver.BiCGSTAB(op, qt2, opts)
+	}
+	return solver.GMRES(op, qt2, opts)
 }
 
 // QueryWithCallback runs a query invoking cb with the fully assembled RWR

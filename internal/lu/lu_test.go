@@ -322,7 +322,8 @@ func TestQuickSparseLURoundTrip(t *testing.T) {
 }
 
 // Property: ILU memory footprint matches the input matrix footprint
-// (Theorem 3's storage argument).
+// (Theorem 3's storage argument) plus the diagonal index and the
+// level-schedule arrays retained for parallel sweeps.
 func TestQuickILUMemoryMatchesPattern(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -332,8 +333,12 @@ func TestQuickILUMemoryMatchesPattern(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		// Same nnz as A plus the diagonal index array.
-		return fac.MemoryBytes() == a.MemoryBytes()+int64(n)*8
+		// Same nnz as A (split across the L and U structures, which adds a
+		// second row-pointer array), plus two int32 level schedules (an
+		// order entry per row and levels+1 bounds per sweep).
+		fwd, bwd := fac.Levels()
+		sched := int64(4 * (2*n + (fwd + 1) + (bwd + 1)))
+		return fac.MemoryBytes() == a.MemoryBytes()+int64(n+1)*8+sched
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -63,6 +63,19 @@ type Observer struct {
 	// Residual observes the solver's final relative residual per solved
 	// query.
 	Residual *Histogram
+	// SchurApply observes the wall time of each Schur-operator application
+	// (one SpMV with the explicit S, or the fused
+	// H22·x − H21·(H11⁻¹·(H12·x)) chain), in seconds — the dominant
+	// per-iteration kernel.
+	SchurApply *Histogram
+	// PrecondApply observes the wall time of each ILU(0) preconditioner
+	// application (the two triangular sweeps), in seconds.
+	PrecondApply *Histogram
+
+	// KernelBytes accumulates the bytes each observed kernel application
+	// streams (matrix arrays plus vectors), so bandwidth pressure is
+	// visible as a rate alongside the time histograms.
+	KernelBytes atomic.Int64
 
 	// SolverIters counts solver iterations as they happen (incremented from
 	// the solver's per-iteration hook), so convergence progress of long
@@ -95,8 +108,9 @@ type Options struct {
 	Logger *slog.Logger
 }
 
-// New builds a fully wired observer: the five standard histograms, a trace
-// ring, and (when Options.SlowQuery is positive) a slow-query log.
+// New builds a fully wired observer: the standard histograms (including the
+// per-kernel ones), a trace ring, and (when Options.SlowQuery is positive) a
+// slow-query log.
 func New(opts Options) *Observer {
 	o := &Observer{
 		Clock:        opts.Clock,
@@ -105,6 +119,8 @@ func New(opts Options) *Observer {
 		QueueWait:    NewHistogram("queue wait (s)", LatencyBuckets()),
 		Iterations:   NewHistogram("solver iterations", IterationBuckets()),
 		Residual:     NewHistogram("final residual", ResidualBuckets()),
+		SchurApply:   NewHistogram("Schur operator apply (s)", LatencyBuckets()),
+		PrecondApply: NewHistogram("ILU preconditioner apply (s)", LatencyBuckets()),
 	}
 	cap := opts.TraceCapacity
 	if cap == 0 {

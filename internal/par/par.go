@@ -98,6 +98,15 @@ func ChunkBounds(n, parts int) []int {
 // every chunk spans at least one item while items remain, so bounds are
 // strictly increasing and parts is clamped to [1, n].
 func BoundsByPrefix(prefix []int, parts int) []int {
+	return BoundsByPrefixOf(prefix, parts)
+}
+
+// BoundsByPrefixOf is BoundsByPrefix generalized over the prefix element
+// type, so compact row-pointer arrays (int32 or int64, as stored by
+// sparse.CSR32) drive the same nnz-balanced partition without widening to
+// []int first. The boundaries are identical to BoundsByPrefix on the
+// widened prefix.
+func BoundsByPrefixOf[T int | int32 | int64](prefix []T, parts int) []int {
 	n := len(prefix) - 1
 	if parts > n {
 		parts = n
@@ -105,15 +114,15 @@ func BoundsByPrefix(prefix []int, parts int) []int {
 	if parts < 1 {
 		parts = 1
 	}
-	total := prefix[n] - prefix[0]
+	total := int64(prefix[n]) - int64(prefix[0])
 	bounds := make([]int, parts+1)
 	bounds[parts] = n
 	at := 0
 	for c := 1; c < parts; c++ {
 		// Last boundary whose cumulative weight stays within the c-th
 		// equal share.
-		target := prefix[0] + int(int64(total)*int64(c)/int64(parts))
-		for at < n && prefix[at+1] <= target {
+		target := int64(prefix[0]) + total*int64(c)/int64(parts)
+		for at < n && int64(prefix[at+1]) <= target {
 			at++
 		}
 		// Leave enough items for the remaining chunks to be non-empty.

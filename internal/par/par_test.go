@@ -83,6 +83,35 @@ func TestBoundsByPrefix(t *testing.T) {
 	}
 }
 
+// TestBoundsByPrefixOfMatchesWide: the int32/int64 instantiations must pick
+// exactly the boundaries of the []int version on the same weights.
+func TestBoundsByPrefixOfMatchesWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		prefix := make([]int, n+1)
+		p32 := make([]int32, n+1)
+		p64 := make([]int64, n+1)
+		for i := 1; i <= n; i++ {
+			prefix[i] = prefix[i-1] + rng.Intn(5)
+			p32[i] = int32(prefix[i])
+			p64[i] = int64(prefix[i])
+		}
+		parts := 1 + rng.Intn(10)
+		want := BoundsByPrefix(prefix, parts)
+		for i, got := range [][]int{BoundsByPrefixOf(p32, parts), BoundsByPrefixOf(p64, parts)} {
+			if len(got) != len(want) {
+				t.Fatalf("variant %d: %v vs %v", i, got, want)
+			}
+			for c := range got {
+				if got[c] != want[c] {
+					t.Fatalf("variant %d differs: %v vs %v", i, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestBoundsByPrefixBalances(t *testing.T) {
 	// Uniform weights must reduce to near-equal chunks.
 	n, parts := 1000, 8

@@ -191,6 +191,17 @@ func New(eng *core.Engine, cfg Config) *Executor {
 	// (The hook is engine-wide; a second executor over the same engine
 	// would re-point it.)
 	eng.SetIterHook(func(int, float64) { e.obs.SolverIters.Add(1) })
+	// Per-kernel telemetry: timing and bytes-streamed for each Schur
+	// operator and preconditioner application. Same engine-wide caveat.
+	eng.SetKernelHook(func(kernel string, seconds float64, bytes int64) {
+		switch kernel {
+		case core.KernelSchur:
+			e.obs.SchurApply.Observe(seconds)
+		case core.KernelPrecond:
+			e.obs.PrecondApply.Observe(seconds)
+		}
+		e.obs.KernelBytes.Add(bytes)
+	})
 	if cfg.CacheEntries > 0 {
 		e.cache = newLRUCache(cfg.CacheEntries)
 	}

@@ -74,6 +74,13 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 	if o.Residual != nil {
 		p.Histogram("bepi_query_residual", "Final relative residual per solved query.", o.Residual.Snapshot())
 	}
+	if o.SchurApply != nil {
+		p.Histogram("bepi_schur_apply_seconds", "Wall time per Schur-operator application.", o.SchurApply.Snapshot())
+	}
+	if o.PrecondApply != nil {
+		p.Histogram("bepi_precond_apply_seconds", "Wall time per ILU preconditioner application.", o.PrecondApply.Snapshot())
+	}
+	p.Counter("bepi_kernel_bytes_total", "Bytes streamed by the observed solve kernels.", float64(o.KernelBytes.Load()))
 
 	// Index and preprocessing (Table 2 / Figure 1 quantities, live).
 	st := s.eng.Internal().PrepStats()

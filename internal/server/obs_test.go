@@ -92,6 +92,9 @@ func TestMetricsPrometheus(t *testing.T) {
 		{"bepi_queue_wait_seconds", "histogram"},
 		{"bepi_query_iterations", "histogram"},
 		{"bepi_query_residual", "histogram"},
+		{"bepi_schur_apply_seconds", "histogram"},
+		{"bepi_precond_apply_seconds", "histogram"},
+		{"bepi_kernel_bytes_total", "counter"},
 		{"bepi_index_bytes", "gauge"},
 		{"bepi_schur_nnz", "gauge"},
 		{"bepi_partition_size", "gauge"},
@@ -123,6 +126,12 @@ func TestMetricsPrometheus(t *testing.T) {
 	}
 	if lat.samples["bepi_query_latency_seconds_sum"] <= 0 {
 		t.Error("latency histogram sum not positive")
+	}
+	if fams["bepi_schur_apply_seconds"].samples["bepi_schur_apply_seconds_count"] < 1 {
+		t.Error("no Schur-operator applications observed")
+	}
+	if fams["bepi_kernel_bytes_total"].samples["bepi_kernel_bytes_total"] <= 0 {
+		t.Error("kernel bytes counter not positive")
 	}
 	stages := fams["bepi_prep_stage_seconds"]
 	for _, stage := range []string{"reorder", "build_h", "factor_h11", "schur", "total"} {

@@ -1,0 +1,461 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"bepi/internal/par"
+)
+
+// maxIndex32 is the exclusive upper bound on dimensions addressable by the
+// compact uint32 column indices.
+const maxIndex32 = int64(1) << 32
+
+// CSR32 is the bandwidth-lean, immutable counterpart of CSR: column indices
+// are uint32, row pointers are int32 when the entry count allows it (int64
+// otherwise, chosen at build time), and values are float64 by default with
+// an opt-in float32 path. Halving the index width halves the index bytes an
+// SpMV streams per stored entry, which is the dominant cost of the
+// memory-bound iteration kernels.
+//
+// The float64-valued kernels perform the exact additions and
+// multiplications of the CSR kernels in the same order, so their results
+// are bit-identical to CSR at any worker count. The float32 value path
+// (CompactFloat32) trades that for another ~4 bytes/entry and is explicitly
+// lossy; it is never chosen implicitly.
+//
+// CSR32 is immutable after construction: there is no mutating API, and the
+// constructors reject (rather than repair) malformed input.
+type CSR32 struct {
+	rows, cols int
+	// Exactly one of rowPtr32/rowPtr64 is non-nil.
+	rowPtr32 []int32
+	rowPtr64 []int64
+	col      []uint32
+	// Exactly one of val/val32 is non-nil (val for the lossless default).
+	val   []float64
+	val32 []float32
+
+	// pool, when set, parallelizes the matvec kernels above ParallelMinNNZ
+	// by nnz-balanced row partition, exactly like CSR.
+	pool *par.Pool
+	// tr is the cached transpose built by CacheTranspose; MulVecT runs as
+	// a (parallelizable) row-gather over it when present.
+	tr *CSR32
+}
+
+// Compact converts a CSR matrix into the compact layout, sharing the
+// float64 value slice (values are identical; only the index arrays shrink).
+// It panics if the matrix dimensions exceed the uint32 index range. The
+// conversion is lossless: ToCSR reproduces an Equal matrix, and every
+// float64 kernel is bit-identical to its CSR counterpart.
+func Compact(m *CSR) *CSR32 {
+	c := compactIndices(m)
+	c.val = m.val
+	return c
+}
+
+// CompactFloat32 converts a CSR matrix into the compact layout with values
+// narrowed to float32. This is the opt-in lossy path: kernels widen each
+// stored value back to float64 at multiply time, so results differ from the
+// CSR kernels by the value rounding only.
+func CompactFloat32(m *CSR) *CSR32 {
+	c := compactIndices(m)
+	c.val32 = make([]float32, len(m.val))
+	for i, v := range m.val {
+		c.val32[i] = float32(v)
+	}
+	return c
+}
+
+func compactIndices(m *CSR) *CSR32 {
+	if int64(m.cols) > maxIndex32 || int64(m.rows) > maxIndex32 {
+		panic(fmt.Sprintf("sparse: Compact %dx%d exceeds uint32 index range", m.rows, m.cols))
+	}
+	c := &CSR32{rows: m.rows, cols: m.cols, pool: m.pool}
+	c.col = make([]uint32, len(m.col))
+	for i, j := range m.col {
+		c.col[i] = uint32(j)
+	}
+	// Row pointers: int32 when nnz fits, int64 otherwise. The last entry is
+	// the largest, so checking it covers the whole array.
+	if nnz := m.rowPtr[m.rows]; int64(nnz) <= math.MaxInt32 {
+		c.rowPtr32 = make([]int32, len(m.rowPtr))
+		for i, p := range m.rowPtr {
+			c.rowPtr32[i] = int32(p)
+		}
+	} else {
+		c.rowPtr64 = make([]int64, len(m.rowPtr))
+		for i, p := range m.rowPtr {
+			c.rowPtr64[i] = int64(p)
+		}
+	}
+	if m.tr != nil {
+		c.tr = compactIndices(m.tr)
+		c.tr.val = m.tr.val
+	}
+	return c
+}
+
+// NewCSR32 constructs a compact matrix from raw slices with int32 row
+// pointers. Unlike NewCSR it does not repair its input: the slices are used
+// as-is and must already satisfy the CSR invariants (monotone row pointers,
+// in-range and strictly increasing columns per row); violations panic.
+func NewCSR32(rows, cols int, rowPtr []int32, col []uint32, val []float64) *CSR32 {
+	if len(col) != len(val) {
+		panic(fmt.Sprintf("sparse: col/val length %d/%d", len(col), len(val)))
+	}
+	if err := validateCompact(rows, cols, rowPtr, col); err != nil {
+		panic(err)
+	}
+	return &CSR32{rows: rows, cols: cols, rowPtr32: rowPtr, col: col, val: val}
+}
+
+// NewCSR32Wide is NewCSR32 with int64 row pointers, for matrices whose
+// entry count exceeds the int32 range.
+func NewCSR32Wide(rows, cols int, rowPtr []int64, col []uint32, val []float64) *CSR32 {
+	if len(col) != len(val) {
+		panic(fmt.Sprintf("sparse: col/val length %d/%d", len(col), len(val)))
+	}
+	if err := validateCompact(rows, cols, rowPtr, col); err != nil {
+		panic(err)
+	}
+	return &CSR32{rows: rows, cols: cols, rowPtr64: rowPtr, col: col, val: val}
+}
+
+// ToCSR widens the matrix back to the standard CSR layout. For float64
+// values the round trip CSR -> Compact -> ToCSR is exact (Equal); for the
+// float32 path the widened values carry the float32 rounding.
+func (m *CSR32) ToCSR() *CSR {
+	rowPtr := make([]int, m.rows+1)
+	if m.rowPtr32 != nil {
+		for i, p := range m.rowPtr32 {
+			rowPtr[i] = int(p)
+		}
+	} else {
+		for i, p := range m.rowPtr64 {
+			rowPtr[i] = int(p)
+		}
+	}
+	col := make([]int, len(m.col))
+	for i, j := range m.col {
+		col[i] = int(j)
+	}
+	var val []float64
+	if m.val != nil {
+		val = make([]float64, len(m.val))
+		copy(val, m.val)
+	} else {
+		val = make([]float64, len(m.val32))
+		for i, v := range m.val32 {
+			val[i] = float64(v)
+		}
+	}
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: rowPtr, col: col, val: val, pool: m.pool}
+}
+
+// Rows returns the number of rows.
+func (m *CSR32) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR32) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR32) NNZ() int { return len(m.col) }
+
+// Float32Values reports whether the matrix stores float32 values (the
+// lossy CompactFloat32 path) rather than the default float64.
+func (m *CSR32) Float32Values() bool { return m.val32 != nil }
+
+// SetPool attaches a parallel pool and returns m; semantics match
+// CSR.SetPool (parallel above ParallelMinNNZ, bit-identical results).
+func (m *CSR32) SetPool(p *par.Pool) *CSR32 {
+	m.pool = p
+	if m.tr != nil {
+		m.tr.pool = p
+	}
+	return m
+}
+
+// Pool returns the attached pool (nil means serial).
+func (m *CSR32) Pool() *par.Pool { return m.pool }
+
+// CacheTranspose builds, caches and returns Mᵀ in compact form. While
+// cached, MulVecT runs as a row-gather over the transpose, which
+// row-partitions across the pool; the gather applies each output element's
+// contributions in the same ascending-row order as the serial scatter, so
+// results stay bit-identical.
+func (m *CSR32) CacheTranspose() *CSR32 {
+	if m.tr == nil {
+		// Transpose once through the wide layout; this runs once per
+		// matrix lifetime, outside any query path.
+		wide := m.ToCSR().Transpose()
+		if m.val32 != nil {
+			m.tr = CompactFloat32(wide)
+		} else {
+			m.tr = Compact(wide)
+		}
+		m.tr.pool = m.pool
+	}
+	return m.tr
+}
+
+// parBounds mirrors CSR.parBounds: nnz-balanced row chunks over the pool's
+// workers when parallel execution pays off.
+func (m *CSR32) parBounds() ([]int, bool) {
+	if m.pool.Workers() <= 1 || len(m.col) < ParallelMinNNZ || m.rows < 2 {
+		return nil, false
+	}
+	if m.rowPtr32 != nil {
+		return par.BoundsByPrefixOf(m.rowPtr32, m.pool.Workers()), true
+	}
+	return par.BoundsByPrefixOf(m.rowPtr64, m.pool.Workers()), true
+}
+
+// The range kernels are generic over (row-pointer width × value width) so
+// the four layout combinations share one loop body each. Instantiated with
+// V = float64 the conversion is the identity and the compiled loop performs
+// the exact CSR operation sequence.
+
+// The gather kernels mirror CSR's four-lane accumulation exactly — same
+// stride-4 lanes, remainder into lane 0, combined as (s0+s1)+(s2+s3) — so
+// the float64 instantiations stay bit-identical to the CSR kernels.
+
+func mulVecRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		cols := col[start:end]
+		vals := val[start:end]
+		var s0, s1, s2, s3 float64
+		p := 0
+		for ; p+4 <= len(cols); p += 4 {
+			s0 += float64(vals[p]) * x[cols[p]]
+			s1 += float64(vals[p+1]) * x[cols[p+1]]
+			s2 += float64(vals[p+2]) * x[cols[p+2]]
+			s3 += float64(vals[p+3]) * x[cols[p+3]]
+		}
+		for ; p < len(cols); p++ {
+			s0 += float64(vals[p]) * x[cols[p]]
+		}
+		dst[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// mulVecRangeSeq32 is the sequential per-row gather reserved for the
+// cached-transpose MulVecT path, matching the scatter's addition order.
+func mulVecRangeSeq32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			s += float64(val[p]) * x[col[p]]
+		}
+		dst[i] = s
+	}
+}
+
+func addMulVecRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst []float64, alpha float64, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := rowPtr[i], rowPtr[i+1]
+		cols := col[start:end]
+		vals := val[start:end]
+		var s0, s1, s2, s3 float64
+		p := 0
+		for ; p+4 <= len(cols); p += 4 {
+			s0 += float64(vals[p]) * x[cols[p]]
+			s1 += float64(vals[p+1]) * x[cols[p+1]]
+			s2 += float64(vals[p+2]) * x[cols[p+2]]
+			s3 += float64(vals[p+3]) * x[cols[p+3]]
+		}
+		for ; p < len(cols); p++ {
+			s0 += float64(vals[p]) * x[cols[p]]
+		}
+		dst[i] += alpha * ((s0 + s1) + (s2 + s3))
+	}
+}
+
+func mulVecBatchRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x [][]float64, rlo, rhi int) {
+	for i := rlo; i < rhi; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		cols := col[lo:hi]
+		vals := val[lo:hi]
+		for k := range x {
+			xk := x[k]
+			var s0, s1, s2, s3 float64
+			p := 0
+			for ; p+4 <= len(cols); p += 4 {
+				s0 += float64(vals[p]) * xk[cols[p]]
+				s1 += float64(vals[p+1]) * xk[cols[p+1]]
+				s2 += float64(vals[p+2]) * xk[cols[p+2]]
+				s3 += float64(vals[p+3]) * xk[cols[p+3]]
+			}
+			for ; p < len(cols); p++ {
+				s0 += float64(vals[p]) * xk[cols[p]]
+			}
+			dst[k][i] = (s0 + s1) + (s2 + s3)
+		}
+	}
+}
+
+func mulVecTScatter32[P int32 | int64, V float32 | float64](rows int, rowPtr []P, col []uint32, val []V, dst, x []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			dst[col[p]] += float64(val[p]) * xi
+		}
+	}
+}
+
+func (m *CSR32) mulVecRange(dst, x []float64, lo, hi int) {
+	switch {
+	case m.rowPtr32 != nil && m.val != nil:
+		mulVecRange32(m.rowPtr32, m.col, m.val, dst, x, lo, hi)
+	case m.rowPtr32 != nil:
+		mulVecRange32(m.rowPtr32, m.col, m.val32, dst, x, lo, hi)
+	case m.val != nil:
+		mulVecRange32(m.rowPtr64, m.col, m.val, dst, x, lo, hi)
+	default:
+		mulVecRange32(m.rowPtr64, m.col, m.val32, dst, x, lo, hi)
+	}
+}
+
+func (m *CSR32) mulVecRangeSeq(dst, x []float64, lo, hi int) {
+	switch {
+	case m.rowPtr32 != nil && m.val != nil:
+		mulVecRangeSeq32(m.rowPtr32, m.col, m.val, dst, x, lo, hi)
+	case m.rowPtr32 != nil:
+		mulVecRangeSeq32(m.rowPtr32, m.col, m.val32, dst, x, lo, hi)
+	case m.val != nil:
+		mulVecRangeSeq32(m.rowPtr64, m.col, m.val, dst, x, lo, hi)
+	default:
+		mulVecRangeSeq32(m.rowPtr64, m.col, m.val32, dst, x, lo, hi)
+	}
+}
+
+func (m *CSR32) addMulVecRange(dst []float64, alpha float64, x []float64, lo, hi int) {
+	switch {
+	case m.rowPtr32 != nil && m.val != nil:
+		addMulVecRange32(m.rowPtr32, m.col, m.val, dst, alpha, x, lo, hi)
+	case m.rowPtr32 != nil:
+		addMulVecRange32(m.rowPtr32, m.col, m.val32, dst, alpha, x, lo, hi)
+	case m.val != nil:
+		addMulVecRange32(m.rowPtr64, m.col, m.val, dst, alpha, x, lo, hi)
+	default:
+		addMulVecRange32(m.rowPtr64, m.col, m.val32, dst, alpha, x, lo, hi)
+	}
+}
+
+func (m *CSR32) mulVecBatchRange(dst, x [][]float64, rlo, rhi int) {
+	switch {
+	case m.rowPtr32 != nil && m.val != nil:
+		mulVecBatchRange32(m.rowPtr32, m.col, m.val, dst, x, rlo, rhi)
+	case m.rowPtr32 != nil:
+		mulVecBatchRange32(m.rowPtr32, m.col, m.val32, dst, x, rlo, rhi)
+	case m.val != nil:
+		mulVecBatchRange32(m.rowPtr64, m.col, m.val, dst, x, rlo, rhi)
+	default:
+		mulVecBatchRange32(m.rowPtr64, m.col, m.val32, dst, x, rlo, rhi)
+	}
+}
+
+// MulVec computes dst = M·x with the same dimension rules, pool behavior
+// and (for float64 values) bit-identical results as CSR.MulVec.
+func (m *CSR32) MulVec(dst, x []float64) {
+	if len(dst) != m.rows || len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec dims dst=%d x=%d want %d,%d", len(dst), len(x), m.rows, m.cols))
+	}
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecRange(dst, x, 0, m.rows)
+}
+
+// MulVecBatch computes dst[k] = M·x[k] for every right-hand side, row-outer
+// like CSR.MulVecBatch so the compact index arrays are streamed once per
+// batch rather than once per vector.
+func (m *CSR32) MulVecBatch(dst, x [][]float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("sparse: MulVecBatch got %d dst vectors for %d rhs", len(dst), len(x)))
+	}
+	for k := range x {
+		if len(dst[k]) != m.rows || len(x[k]) != m.cols {
+			panic(fmt.Sprintf("sparse: MulVecBatch dims dst=%d x=%d want %d,%d",
+				len(dst[k]), len(x[k]), m.rows, m.cols))
+		}
+	}
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecBatchRange(dst, x, lo, hi) })
+		return
+	}
+	m.mulVecBatchRange(dst, x, 0, m.rows)
+}
+
+// MulVecT computes dst = Mᵀ·x: the serial scatter loop without a cached
+// transpose, a pool-partitioned row gather over it after CacheTranspose.
+func (m *CSR32) MulVecT(dst, x []float64) {
+	if len(dst) != m.cols || len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecT dims dst=%d x=%d want %d,%d", len(dst), len(x), m.cols, m.rows))
+	}
+	if m.tr != nil {
+		tr := m.tr
+		if bounds, ok := tr.parBounds(); ok {
+			tr.pool.ForBounds(bounds, func(_, lo, hi int) { tr.mulVecRangeSeq(dst, x, lo, hi) })
+			return
+		}
+		tr.mulVecRangeSeq(dst, x, 0, tr.rows)
+		return
+	}
+	switch {
+	case m.rowPtr32 != nil && m.val != nil:
+		mulVecTScatter32(m.rows, m.rowPtr32, m.col, m.val, dst, x)
+	case m.rowPtr32 != nil:
+		mulVecTScatter32(m.rows, m.rowPtr32, m.col, m.val32, dst, x)
+	case m.val != nil:
+		mulVecTScatter32(m.rows, m.rowPtr64, m.col, m.val, dst, x)
+	default:
+		mulVecTScatter32(m.rows, m.rowPtr64, m.col, m.val32, dst, x)
+	}
+}
+
+// AddMulVec computes dst += alpha · M·x, row-partitioned like MulVec. It is
+// the fusion epilogue the Schur operator uses to fold the H21 term into the
+// H22 product without an intermediate vector or an extra full-vector pass.
+func (m *CSR32) AddMulVec(dst []float64, alpha float64, x []float64) {
+	if len(dst) != m.rows || len(x) != m.cols {
+		panic("sparse: AddMulVec dimension mismatch")
+	}
+	if bounds, ok := m.parBounds(); ok {
+		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.addMulVecRange(dst, alpha, x, lo, hi) })
+		return
+	}
+	m.addMulVecRange(dst, alpha, x, 0, m.rows)
+}
+
+// MemoryBytes reports the storage footprint: 8 (or 4, float32 path) bytes
+// per value, 4 per column index, and 4 or 8 per row pointer as chosen at
+// build time. Compare CSR.MemoryBytes' 16 bytes per entry + 8 per row.
+func (m *CSR32) MemoryBytes() int64 {
+	b := int64(len(m.col)) * 4
+	if m.val != nil {
+		b += int64(len(m.val)) * 8
+	} else {
+		b += int64(len(m.val32)) * 4
+	}
+	if m.rowPtr32 != nil {
+		b += int64(len(m.rowPtr32)) * 4
+	} else {
+		b += int64(len(m.rowPtr64)) * 8
+	}
+	return b
+}
+
+// String returns a short shape/nnz description.
+func (m *CSR32) String() string {
+	return fmt.Sprintf("CSR32{%dx%d, nnz=%d}", m.rows, m.cols, m.NNZ())
+}

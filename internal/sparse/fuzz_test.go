@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 )
@@ -44,6 +45,84 @@ func FuzzReadCSR(f *testing.F) {
 		}
 		if back.Rows() != got.Rows() || back.NNZ() != got.NNZ() {
 			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzValidateNewCSR drives Validate and NewCSR with arbitrary structure
+// bytes: rowPtr and col arrays are decoded from the fuzz payloads, and the
+// two functions must agree — whenever Validate accepts, NewCSR must build a
+// matrix whose kernels run in-bounds (MulVec plus a compact round trip);
+// whenever Validate rejects, NewCSR must panic rather than construct.
+func FuzzValidateNewCSR(f *testing.F) {
+	pack := func(xs ...int16) []byte {
+		b := make([]byte, 2*len(xs))
+		for i, x := range xs {
+			binary.LittleEndian.PutUint16(b[2*i:], uint16(x))
+		}
+		return b
+	}
+	// Valid 2x3 with 2 entries; then mutations: decreasing rowPtr, bad
+	// column, wrong tail, empty.
+	f.Add(uint8(2), uint8(3), pack(0, 1, 2), pack(2, 0))
+	f.Add(uint8(2), uint8(3), pack(0, 2, 1), pack(0, 1))
+	f.Add(uint8(2), uint8(3), pack(0, 1, 2), pack(2, 9))
+	f.Add(uint8(2), uint8(3), pack(0, 1, 5), pack(2, 0))
+	f.Add(uint8(0), uint8(0), pack(0), pack())
+
+	f.Fuzz(func(t *testing.T, rows8, cols8 uint8, rowPtrB, colB []byte) {
+		rows, cols := int(rows8)%32, int(cols8)%32
+		rowPtr := make([]int, len(rowPtrB)/2)
+		for i := range rowPtr {
+			rowPtr[i] = int(int16(binary.LittleEndian.Uint16(rowPtrB[2*i:])))
+		}
+		col := make([]int, len(colB)/2)
+		for i := range col {
+			col[i] = int(int16(binary.LittleEndian.Uint16(colB[2*i:])))
+		}
+		val := make([]float64, len(col))
+		for i := range val {
+			val[i] = float64(i) + 0.5
+		}
+
+		err := Validate(rows, cols, rowPtr, col)
+		var m *CSR
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			m = NewCSR(rows, cols, rowPtr, col, val)
+			return
+		}()
+		if err == nil && panicked {
+			t.Fatalf("Validate accepted but NewCSR panicked (rows=%d cols=%d rowPtr=%v col=%v)", rows, cols, rowPtr, col)
+		}
+		if err != nil && !panicked {
+			t.Fatalf("Validate rejected (%v) but NewCSR accepted", err)
+		}
+		if err != nil {
+			return
+		}
+		// Accepted input: kernels must stay in-bounds and the compact form
+		// must round-trip. (NewCSR may have merged duplicates, so validate
+		// the built matrix, not the raw input.)
+		if verr := Validate(m.Rows(), m.Cols(), m.RowPtr(), m.ColIdx()); verr != nil {
+			t.Fatalf("NewCSR built an invalid matrix: %v", verr)
+		}
+		x := make([]float64, m.Cols())
+		for i := range x {
+			x[i] = 1
+		}
+		dst := make([]float64, m.Rows())
+		m.MulVec(dst, x)
+		c := Compact(m)
+		if !c.ToCSR().Equal(m) {
+			t.Fatal("compact round trip changed the matrix")
+		}
+		dst32 := make([]float64, m.Rows())
+		c.MulVec(dst32, x)
+		for i := range dst {
+			if dst[i] != dst32[i] {
+				t.Fatalf("compact MulVec differs at %d", i)
+			}
 		}
 	})
 }

@@ -130,7 +130,13 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if read != nnz {
 		return nil, fmt.Errorf("sparse: MatrixMarket declared %d entries, found %d", nnz, read)
 	}
-	return coo.ToCSR(), nil
+	m := coo.ToCSR()
+	// Defense in depth on untrusted input: fail the load, not a later
+	// kernel, if the built structure is ever malformed.
+	if err := Validate(m.rows, m.cols, m.rowPtr, m.col); err != nil {
+		return nil, fmt.Errorf("sparse: MatrixMarket produced invalid CSR: %w", err)
+	}
+	return m, nil
 }
 
 // WriteMatrixMarket writes the matrix as "coordinate real general".

@@ -171,12 +171,15 @@ func (m *CSR) parBounds() ([]int, bool) {
 
 // NewCSR constructs a CSR matrix directly from raw slices. The slices are
 // used as-is (not copied); rows are sorted and duplicates merged if needed.
+// The input must pass Validate (monotone row pointers, in-range columns);
+// malformed input panics rather than producing a matrix whose kernels read
+// out of bounds.
 func NewCSR(rows, cols int, rowPtr, col []int, val []float64) *CSR {
-	if len(rowPtr) != rows+1 {
-		panic(fmt.Sprintf("sparse: rowPtr length %d want %d", len(rowPtr), rows+1))
+	if len(col) != len(val) {
+		panic(fmt.Sprintf("sparse: col/val length %d/%d", len(col), len(val)))
 	}
-	if len(col) != len(val) || len(col) != rowPtr[rows] {
-		panic(fmt.Sprintf("sparse: col/val length %d/%d want %d", len(col), len(val), rowPtr[rows]))
+	if err := Validate(rows, cols, rowPtr, col); err != nil {
+		panic(err)
 	}
 	m := &CSR{rows: rows, cols: cols, rowPtr: rowPtr, col: col, val: val}
 	m.sortRowsAndMerge()
@@ -317,7 +320,38 @@ func (m *CSR) MulVec(dst, x []float64) {
 	m.mulVecRange(dst, x, 0, m.rows)
 }
 
+// mulVecRange is the gather kernel behind MulVec and AddMulVec: four
+// independent accumulator lanes walk each row in stride-4 steps (remainder
+// entries fold into lane 0) and combine as (s0+s1)+(s2+s3). Breaking the
+// single loop-carried FP-add chain is worth ~2× on long rows; the lane
+// order is part of the layout contract — CSR32 runs the exact same
+// sequence, which is what keeps the two layouts bit-identical.
 func (m *CSR) mulVecRange(dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		start, end := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.col[start:end]
+		vals := m.val[start:end]
+		var s0, s1, s2, s3 float64
+		p := 0
+		for ; p+4 <= len(cols); p += 4 {
+			s0 += vals[p] * x[cols[p]]
+			s1 += vals[p+1] * x[cols[p+1]]
+			s2 += vals[p+2] * x[cols[p+2]]
+			s3 += vals[p+3] * x[cols[p+3]]
+		}
+		for ; p < len(cols); p++ {
+			s0 += vals[p] * x[cols[p]]
+		}
+		dst[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// mulVecRangeSeq is the strictly sequential per-row gather. MulVecT's
+// cached-transpose path uses it instead of the unrolled kernel: the
+// scatter loop applies each output element's contributions one at a time
+// in ascending row order, and only the sequential gather reproduces that
+// addition order bit for bit.
+func (m *CSR) mulVecRangeSeq(dst, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var s float64
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
@@ -358,11 +392,20 @@ func (m *CSR) mulVecBatchRange(dst, x [][]float64, rlo, rhi int) {
 		vals := m.val[lo:hi]
 		for k := range x {
 			xk := x[k]
-			var s float64
-			for p, j := range cols {
-				s += vals[p] * xk[j]
+			// Same four-lane accumulation as mulVecRange, so a batch of
+			// one stays bit-identical to MulVec.
+			var s0, s1, s2, s3 float64
+			p := 0
+			for ; p+4 <= len(cols); p += 4 {
+				s0 += vals[p] * xk[cols[p]]
+				s1 += vals[p+1] * xk[cols[p+1]]
+				s2 += vals[p+2] * xk[cols[p+2]]
+				s3 += vals[p+3] * xk[cols[p+3]]
 			}
-			dst[k][i] = s
+			for ; p < len(cols); p++ {
+				s0 += vals[p] * xk[cols[p]]
+			}
+			dst[k][i] = (s0 + s1) + (s2 + s3)
 		}
 	}
 }
@@ -378,7 +421,12 @@ func (m *CSR) MulVecT(dst, x []float64) {
 		panic(fmt.Sprintf("sparse: MulVecT dims dst=%d x=%d want %d,%d", len(dst), len(x), m.cols, m.rows))
 	}
 	if m.tr != nil {
-		m.tr.MulVec(dst, x)
+		tr := m.tr
+		if bounds, ok := tr.parBounds(); ok {
+			tr.pool.ForBounds(bounds, func(_, lo, hi int) { tr.mulVecRangeSeq(dst, x, lo, hi) })
+			return
+		}
+		tr.mulVecRangeSeq(dst, x, 0, tr.rows)
 		return
 	}
 	for j := range dst {
@@ -410,11 +458,21 @@ func (m *CSR) AddMulVec(dst []float64, alpha float64, x []float64) {
 
 func (m *CSR) addMulVecRange(dst []float64, alpha float64, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		var s float64
-		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			s += m.val[p] * x[m.col[p]]
+		start, end := m.rowPtr[i], m.rowPtr[i+1]
+		cols := m.col[start:end]
+		vals := m.val[start:end]
+		var s0, s1, s2, s3 float64
+		p := 0
+		for ; p+4 <= len(cols); p += 4 {
+			s0 += vals[p] * x[cols[p]]
+			s1 += vals[p+1] * x[cols[p+1]]
+			s2 += vals[p+2] * x[cols[p+2]]
+			s3 += vals[p+3] * x[cols[p+3]]
 		}
-		dst[i] += alpha * s
+		for ; p < len(cols); p++ {
+			s0 += vals[p] * x[cols[p]]
+		}
+		dst[i] += alpha * ((s0 + s1) + (s2 + s3))
 	}
 }
 
