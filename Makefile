@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par bench-kernels profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic profile
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,13 @@ race:
 # built on it — including the stress test of concurrent engine builds
 # sharing one pool, where interleavings vary run to run — plus the obs
 # histograms' record-vs-snapshot race test, the level-scheduled ILU
-# triangular solves, and the compact CSR32 kernel paths.
+# triangular solves, the compact CSR32 kernel paths, and the dynamic-index
+# rebuild/swap protocol (root package: concurrent queries, updates, and
+# background flushes over one index).
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32' \
-		./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
-		./internal/obs/ ./internal/qexec/
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic' \
+		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
+		./internal/obs/ ./internal/qexec/ ./internal/server/
 
 # The CI gate: everything must build, lint clean (vet always; staticcheck/
 # govulncheck when installed), and pass under the race detector, with an
@@ -67,6 +69,13 @@ bench-kernels:
 	$(GO) test -run '^$$' -bench BenchmarkSchurOperator -benchtime=100x -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkILUApplyLevels -benchtime=100x -benchmem ./internal/lu/
 	$(GO) test -run '^$$' -bench BenchmarkCSR32MulVec -benchtime=100x -benchmem ./internal/sparse/
+
+# Smoke-run the dynamic-rebuild experiment on a small R-MAT graph: queries
+# keep answering while a background flush re-preprocesses, and the table
+# contrasts the in-rebuild p99 against a stop-the-world emulation. CI runs
+# it so regressions that reintroduce flush blocking show up as a p99 jump.
+bench-dynamic:
+	$(GO) run ./cmd/bepi-bench dynamic -size tiny
 
 # Capture a CPU profile from a running bepi-serve (start it with
 # -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:

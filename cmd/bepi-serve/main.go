@@ -9,6 +9,18 @@
 //	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/personalized -d '{"weights":{"3":0.5,"9":0.5}}'
 //
+// With -graph (an edge-list file instead of a preprocessed index) the
+// server runs in dynamic mode: POST /edges buffers edge updates, POST
+// /flush rebuilds the index in the background and atomically swaps it in
+// (202 + rebuild id; poll GET /flush/{id}), and queries keep answering
+// from the previous index for the whole rebuild.
+//
+//	bepi-serve -graph graph.txt -addr :8080
+//
+//	curl -X POST localhost:8080/edges -d '{"add":[{"src":1,"dst":9}]}'
+//	curl -X POST localhost:8080/flush
+//	curl localhost:8080/flush/1
+//
 // Observability: /metrics serves JSON (or Prometheus text to scrapers),
 // /debug/traces the recent per-query stage traces. -slow-query logs queries
 // over a threshold through log/slog; -trace-sample thins tracing under
@@ -67,7 +79,8 @@ func layoutName(compact bool) string {
 }
 
 func main() {
-	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (required)")
+	indexPath := flag.String("index", "", "index file built by `bepi preprocess` (static mode; exactly one of -index/-graph)")
+	graphPath := flag.String("graph", "", "edge-list file to preprocess at startup and serve with online updates (dynamic mode)")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("batch-max", 0, "max queries coalesced into one multi-seed solve (0 = default 8)")
@@ -82,29 +95,12 @@ func main() {
 	traceSample := flag.Int("trace-sample", qexec.DefaultTraceSample, "trace every Nth query into /debug/traces (1 = all; tracing allocates, sampling keeps it off the hot path)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
 	flag.Parse()
-	if *indexPath == "" {
-		fmt.Fprintln(os.Stderr, "bepi-serve: -index is required")
+	if (*indexPath == "") == (*graphPath == "") {
+		fmt.Fprintln(os.Stderr, "bepi-serve: exactly one of -index (static) or -graph (dynamic) is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*indexPath)
-	if err != nil {
-		log.Fatalf("bepi-serve: %v", err)
-	}
-	start := time.Now()
-	eng, err := bepi.Load(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("bepi-serve: loading index: %v", err)
-	}
-	// Loaded engines are compact by default; -compact=false widens them.
-	if eng.Compacted() != *compact {
-		eng.SetCompact(*compact)
-	}
-	log.Printf("loaded %s (%d nodes, %d bytes, %s layout) in %v",
-		*indexPath, eng.N(), eng.MemoryBytes(), layoutName(eng.Compacted()),
-		time.Since(start).Round(time.Millisecond))
 
-	handler := server.NewWithConfig(eng, qexec.Config{
+	cfg := qexec.Config{
 		Workers:      *workers,
 		MaxBatch:     *maxBatch,
 		BatchWindow:  *batchWindow,
@@ -117,10 +113,57 @@ func main() {
 			SlowQuery:   *slowQuery,
 			Logger:      slog.Default(),
 		}),
-	})
-	cfg := handler.Executor().Config()
+	}
+
+	var handler *server.Server
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatalf("bepi-serve: %v", err)
+		}
+		g, err := bepi.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("bepi-serve: reading graph: %v", err)
+		}
+		start := time.Now()
+		dynOpts := []bepi.Option{bepi.WithCompact(*compact)}
+		if *parallelism != 0 {
+			dynOpts = append(dynOpts, bepi.WithParallelism(*parallelism))
+		}
+		dyn, err := bepi.NewDynamic(g, dynOpts...)
+		if err != nil {
+			log.Fatalf("bepi-serve: preprocessing %s: %v", *graphPath, err)
+		}
+		eng := dyn.Engine()
+		log.Printf("preprocessed %s (%d nodes, %d edges, %d bytes, %s layout) in %v",
+			*graphPath, eng.N(), g.M(), eng.MemoryBytes(), layoutName(eng.Compacted()),
+			time.Since(start).Round(time.Millisecond))
+		log.Printf("dynamic mode: POST /edges buffers updates, POST /flush rebuilds in the background")
+		handler = server.NewDynamic(dyn, cfg)
+	} else {
+		f, err := os.Open(*indexPath)
+		if err != nil {
+			log.Fatalf("bepi-serve: %v", err)
+		}
+		start := time.Now()
+		eng, err := bepi.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("bepi-serve: loading index: %v", err)
+		}
+		// Loaded engines are compact by default; -compact=false widens them.
+		if eng.Compacted() != *compact {
+			eng.SetCompact(*compact)
+		}
+		log.Printf("loaded %s (%d nodes, %d bytes, %s layout) in %v",
+			*indexPath, eng.N(), eng.MemoryBytes(), layoutName(eng.Compacted()),
+			time.Since(start).Round(time.Millisecond))
+		handler = server.NewWithConfig(eng, cfg)
+	}
+	xc := handler.Executor().Config()
 	log.Printf("qexec: %d workers, batch ≤%d within %v, queue %d, cache %d entries, timeout %v",
-		cfg.Workers, cfg.MaxBatch, cfg.BatchWindow, cfg.QueueDepth, cfg.CacheEntries, cfg.Timeout)
+		xc.Workers, xc.MaxBatch, xc.BatchWindow, xc.QueueDepth, xc.CacheEntries, xc.Timeout)
 	if *slowQuery > 0 {
 		log.Printf("obs: logging queries slower than %v", *slowQuery)
 	}

@@ -3,6 +3,7 @@ package bepi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Dynamic maintains an RWR index over a graph that receives edge updates.
@@ -13,16 +14,33 @@ import (
 // makes this strategy practical — rebuilding is the operation Figure 1(a)
 // shows it winning by orders of magnitude.
 //
-// Dynamic is safe for concurrent use; queries proceed concurrently while
-// updates buffer, and Flush swaps the index atomically.
+// Rebuilds run in the background: Flush (or StartFlush) snapshots the edge
+// set under a short lock, runs graph construction and BePI preprocessing
+// with no lock held, then atomically swaps the new engine in and bumps the
+// index generation. Queries therefore keep completing throughout a rebuild
+// — the only serialization they ever see is the pointer swap — and updates
+// arriving mid-rebuild stay buffered for the next one. At most one rebuild
+// is in flight at a time; a Flush during a rebuild joins it.
+//
+// Dynamic is safe for concurrent use.
 type Dynamic struct {
 	mu      sync.RWMutex
 	opts    []Option
 	n       int
-	edges   map[[2]int]bool
+	edges   map[[2]int]bool // the edge set of the serving index
 	pending map[[2]int]bool // true = insert, false = delete
 	engine  *Engine
+	gen     uint64 // index generation; starts at 1, bumped per swap
+	onSwap  func(eng *Engine, gen uint64, rebuild time.Duration)
+
+	rebuild *Rebuild            // in-flight rebuild, nil when idle
+	history map[uint64]*Rebuild // recent rebuilds by id, for status polling
+	order   []uint64            // history ids oldest-first, for bounding
+	nextID  uint64
 }
+
+// historyCap bounds how many finished rebuilds RebuildStatus can still see.
+const historyCap = 64
 
 // NewDynamic builds the initial index for g. The options apply to every
 // rebuild.
@@ -37,6 +55,9 @@ func NewDynamic(g *Graph, opts ...Option) (*Dynamic, error) {
 		edges:   make(map[[2]int]bool, g.M()),
 		pending: make(map[[2]int]bool),
 		engine:  eng,
+		gen:     1,
+		history: make(map[uint64]*Rebuild),
+		nextID:  1,
 	}
 	for _, e := range g.Edges() {
 		d.edges[[2]int{e.Src, e.Dst}] = true
@@ -52,6 +73,35 @@ func (d *Dynamic) N() int {
 	return d.n
 }
 
+// Generation returns the serving index's generation: 1 for the initial
+// build, bumped by every successful rebuild swap. A failed or no-op Flush
+// leaves it unchanged.
+func (d *Dynamic) Generation() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// Engine returns the engine currently serving queries. The engine is
+// immutable; after a Flush a new one replaces it, so callers that must
+// follow swaps should use OnSwap (or query through Dynamic).
+func (d *Dynamic) Engine() *Engine {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.engine
+}
+
+// OnSwap registers f to be called after every successful rebuild swap with
+// the new engine, the new generation, and how long the rebuild took. It is
+// how a serving layer keeps its executor and caches in step with the index
+// (e.g. qexec.Executor.SwapEngine). f runs with Dynamic's lock held: keep
+// it short and do not call back into Dynamic from it.
+func (d *Dynamic) OnSwap(f func(eng *Engine, gen uint64, rebuild time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onSwap = f
+}
+
 // AddNode grows the node set by one and returns the new node's id.
 // The node becomes queryable after the next Flush.
 func (d *Dynamic) AddNode() int {
@@ -64,42 +114,184 @@ func (d *Dynamic) AddNode() int {
 
 // AddEdge buffers the insertion of edge (src, dst).
 func (d *Dynamic) AddEdge(src, dst int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if src < 0 || src >= d.n || dst < 0 || dst >= d.n {
-		return fmt.Errorf("bepi: edge (%d,%d) out of range n=%d", src, dst, d.n)
-	}
-	d.pending[[2]int{src, dst}] = true
-	return nil
+	return d.buffer(src, dst, true)
 }
 
 // RemoveEdge buffers the deletion of edge (src, dst).
 func (d *Dynamic) RemoveEdge(src, dst int) error {
+	return d.buffer(src, dst, false)
+}
+
+// buffer records one edge update. No-ops are canceled at buffer time:
+// inserting an edge the index already has (or deleting an absent one)
+// leaves the buffer untouched — and cancels any opposite pending op — so
+// Pending and the flush trigger reflect real work only. While a rebuild is
+// in flight the no-op check is skipped (the effective base set is the
+// rebuild's snapshot, not d.edges); the buffer is re-normalized when the
+// rebuild settles.
+func (d *Dynamic) buffer(src, dst int, insert bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if src < 0 || src >= d.n || dst < 0 || dst >= d.n {
 		return fmt.Errorf("bepi: edge (%d,%d) out of range n=%d", src, dst, d.n)
 	}
-	d.pending[[2]int{src, dst}] = false
+	key := [2]int{src, dst}
+	if d.rebuild == nil && d.edges[key] == insert {
+		delete(d.pending, key)
+		return nil
+	}
+	d.pending[key] = insert
 	return nil
 }
 
 // Pending returns the number of buffered updates not yet reflected in the
-// index.
+// index. No-op updates (inserting an existing edge, deleting an absent
+// one) are canceled as they arrive, so a non-zero Pending means a Flush
+// has real work to do.
 func (d *Dynamic) Pending() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.pending)
 }
 
-// Flush applies all buffered updates and rebuilds the index. On error the
-// previous index keeps serving and the buffer is preserved.
-func (d *Dynamic) Flush() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.pending) == 0 && d.engine != nil && d.engine.N() == d.n {
+// Rebuild is a handle on one background rebuild started by StartFlush.
+// Its result fields are published before Done's channel closes and must
+// only be read after it.
+type Rebuild struct {
+	id    uint64
+	start time.Time
+	done  chan struct{}
+
+	// Written once by the rebuild goroutine before close(done).
+	err     error
+	gen     uint64
+	noop    bool
+	applied int
+	dur     time.Duration
+}
+
+// ID identifies the rebuild for status polling (Dynamic.RebuildStatus).
+func (r *Rebuild) ID() uint64 { return r.id }
+
+// Done is closed when the rebuild has settled (swapped, failed, or no-op).
+func (r *Rebuild) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the rebuild settles and returns its error.
+func (r *Rebuild) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// RebuildState is the lifecycle phase of a rebuild.
+type RebuildState string
+
+// Rebuild states.
+const (
+	RebuildRunning RebuildState = "running"
+	RebuildDone    RebuildState = "done"
+	RebuildFailed  RebuildState = "failed"
+)
+
+// RebuildStatus is a point-in-time snapshot of one rebuild.
+type RebuildStatus struct {
+	ID    uint64
+	State RebuildState
+	// NoOp means the flush had no buffered work and completed without
+	// rebuilding (the engine and generation are unchanged).
+	NoOp bool
+	// Applied is the number of buffered updates folded into the rebuild.
+	Applied int
+	// Generation is the index generation after the rebuild (the previous
+	// generation for failed or no-op rebuilds); zero while running.
+	Generation uint64
+	// Duration is the rebuild wall time so far (final once settled).
+	Duration time.Duration
+	// Err is the failure, nil while running or on success.
+	Err error
+}
+
+// Status snapshots the rebuild without blocking.
+func (r *Rebuild) Status() RebuildStatus {
+	select {
+	case <-r.done:
+	default:
+		return RebuildStatus{
+			ID:       r.id,
+			State:    RebuildRunning,
+			Duration: time.Since(r.start),
+		}
+	}
+	st := RebuildStatus{
+		ID:         r.id,
+		State:      RebuildDone,
+		NoOp:       r.noop,
+		Applied:    r.applied,
+		Generation: r.gen,
+		Duration:   r.dur,
+		Err:        r.err,
+	}
+	if r.err != nil {
+		st.State = RebuildFailed
+	}
+	return st
+}
+
+// RebuildStatus looks up a rebuild by id: the in-flight one or any of the
+// recent finished ones (a bounded history is retained).
+func (d *Dynamic) RebuildStatus(id uint64) (RebuildStatus, bool) {
+	d.mu.RLock()
+	r, ok := d.history[id]
+	d.mu.RUnlock()
+	if !ok {
+		return RebuildStatus{}, false
+	}
+	return r.Status(), true
+}
+
+// LastRebuild returns the most recently started rebuild (which may still
+// be running), or nil if none was ever started.
+func (d *Dynamic) LastRebuild() *Rebuild {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.order) == 0 {
 		return nil
 	}
+	return d.history[d.order[len(d.order)-1]]
+}
+
+// Flush applies all buffered updates and rebuilds the index, blocking
+// until the new engine serves (it is StartFlush + Wait). Queries keep
+// completing against the old index for the whole rebuild. On error the
+// previous index keeps serving and the buffer is preserved. If a rebuild
+// is already in flight, Flush waits for that one instead of starting
+// another; updates buffered after its snapshot need a second Flush.
+func (d *Dynamic) Flush() error {
+	return d.StartFlush().Wait()
+}
+
+// StartFlush begins a background rebuild and returns its handle without
+// waiting. If a rebuild is already in flight its handle is returned
+// (rebuilds never stack; mid-rebuild updates stay buffered for the next
+// one). If there is nothing to do — no real buffered updates and no new
+// nodes — the returned handle is already settled as a no-op and the
+// engine generation is unchanged.
+func (d *Dynamic) StartFlush() *Rebuild {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rebuild != nil {
+		return d.rebuild
+	}
+	r := &Rebuild{id: d.nextID, start: time.Now(), done: make(chan struct{})}
+	d.nextID++
+	d.record(r)
+	if len(d.pending) == 0 && d.engine != nil && d.engine.N() == d.n {
+		r.noop = true
+		r.gen = d.gen
+		close(r.done)
+		return r
+	}
+	// Snapshot under the lock: the merged edge set the rebuild will
+	// preprocess, and the buffer it consumes (restored on failure).
 	next := make(map[[2]int]bool, len(d.edges)+len(d.pending))
 	for e := range d.edges {
 		next[e] = true
@@ -111,26 +303,80 @@ func (d *Dynamic) Flush() error {
 			delete(next, e)
 		}
 	}
+	snap := d.pending
+	d.pending = make(map[[2]int]bool)
+	r.applied = len(snap)
+	d.rebuild = r
+	go d.runRebuild(r, d.n, next, snap)
+	return r
+}
+
+// record adds a rebuild to the bounded status history.
+func (d *Dynamic) record(r *Rebuild) {
+	d.history[r.id] = r
+	d.order = append(d.order, r.id)
+	for len(d.order) > historyCap {
+		delete(d.history, d.order[0])
+		d.order = d.order[1:]
+	}
+}
+
+// runRebuild is the background rebuild: all the expensive work — graph
+// construction and full BePI preprocessing — happens here with no lock
+// held, so queries and updates proceed freely. Only the final swap (or the
+// failure bookkeeping) re-acquires the lock, briefly.
+func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[2]int]bool) {
 	edges := make([]Edge, 0, len(next))
 	for e := range next {
 		edges = append(edges, Edge{Src: e[0], Dst: e[1]})
 	}
-	g, err := NewGraph(d.n, edges)
-	if err != nil {
-		return err
+	g, err := NewGraph(n, edges)
+	var eng *Engine
+	if err == nil {
+		eng, err = New(g, d.opts...)
 	}
-	eng, err := New(g, d.opts...)
 	if err != nil {
-		return fmt.Errorf("bepi: rebuilding dynamic index: %w", err)
+		err = fmt.Errorf("bepi: rebuilding dynamic index: %w", err)
 	}
-	d.edges = next
-	d.pending = make(map[[2]int]bool)
-	d.engine = eng
-	return nil
+
+	d.mu.Lock()
+	d.rebuild = nil
+	r.dur = time.Since(r.start)
+	if err != nil {
+		// The old index keeps serving. Restore the consumed buffer without
+		// clobbering ops that arrived mid-rebuild (newer ops win per edge).
+		for e, insert := range snap {
+			if _, ok := d.pending[e]; !ok {
+				d.pending[e] = insert
+			}
+		}
+		r.err = err
+		r.gen = d.gen
+	} else {
+		d.edges = next
+		d.engine = eng
+		d.gen++
+		r.gen = d.gen
+	}
+	// Re-normalize ops buffered while the rebuild ran: anything that is a
+	// no-op against the (possibly new) base set is canceled, restoring the
+	// invariant that pending holds real work only.
+	for e, insert := range d.pending {
+		if d.edges[e] == insert {
+			delete(d.pending, e)
+		}
+	}
+	if err == nil && d.onSwap != nil {
+		d.onSwap(eng, d.gen, r.dur)
+	}
+	d.mu.Unlock()
+	close(r.done)
 }
 
 // Query answers from the most recently flushed index; buffered updates are
-// not yet visible (the paper's batch-update semantics).
+// not yet visible (the paper's batch-update semantics). During a rebuild
+// the previous index keeps answering — queries never wait for
+// preprocessing, only for the atomic engine swap.
 func (d *Dynamic) Query(seed int) ([]float64, error) {
 	d.mu.RLock()
 	eng := d.engine

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bepi"
+)
+
+// dynamicClients is how many concurrent query clients hammer the index
+// while it rebuilds.
+const dynamicClients = 4
+
+// dynamicScale returns the R-MAT (scale, edgeFactor) of the dynamic
+// experiment's graph per suite size — big enough that a full BePI
+// re-preprocessing takes visible wall time next to a single query.
+func dynamicScale(s Size) (int, int) {
+	switch s {
+	case Full:
+		return 16, 12
+	case Small:
+		return 14, 10
+	default:
+		return 11, 8
+	}
+}
+
+// durQuantile returns the q-quantile of a latency sample (sorts in place).
+func durQuantile(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	i := int(q * float64(len(d)-1))
+	return d[i]
+}
+
+// DynamicRebuild measures query latency while the index rebuilds after
+// buffered edge updates, contrasting the old stop-the-world flush (the
+// whole rebuild runs under the write lock, emulated here by wrapping the
+// same index in an RWMutex) with the background flush (snapshot under the
+// lock, preprocess outside it, atomic swap). The stop-the-world row's
+// in-rebuild p99 is the rebuild duration; the background row's stays near
+// the steady-state query cost.
+func DynamicRebuild(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	scale, ef := dynamicScale(cfg.Size)
+	t := &Table{
+		Title: "Query latency during a dynamic-index rebuild",
+		Note: fmt.Sprintf("R-MAT scale %d, edge factor %d; %d concurrent clients querying while a flush rebuilds; stop-the-world emulates the pre-rework Flush (rebuild under the write lock)",
+			scale, ef, dynamicClients),
+		Header: []string{"flush mode", "rebuild", "queries during", "steady p50", "steady p99", "during p50", "during p99", "during worst"},
+	}
+
+	for _, mode := range []string{"stop-the-world", "background"} {
+		g := bepi.RMAT(scale, ef, 42)
+		d, err := bepi.NewDynamic(g, bepi.WithTolerance(cfg.Tol))
+		if err != nil {
+			t.AddRow(mode, classifyCell(err), "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		n := d.N()
+
+		// The stop-the-world emulation routes queries and the flush through
+		// one RWMutex, the way the pre-rework Flush serialized them.
+		var mu sync.RWMutex
+		stw := mode == "stop-the-world"
+		query := func(seed int) error {
+			if stw {
+				mu.RLock()
+				defer mu.RUnlock()
+			}
+			_, err := d.Query(seed)
+			return err
+		}
+
+		// Steady state: latency with no rebuild in flight.
+		var steady []time.Duration
+		for i := 0; i < 32; i++ {
+			qs := time.Now()
+			if err := query(i % n); err != nil {
+				return nil, fmt.Errorf("bench: dynamic steady query: %w", err)
+			}
+			steady = append(steady, time.Since(qs))
+		}
+
+		// Real buffered work: a fresh node with edges is never a no-op.
+		id := d.AddNode()
+		if err := d.AddEdge(0, id); err != nil {
+			return nil, fmt.Errorf("bench: dynamic buffer: %w", err)
+		}
+		if err := d.AddEdge(id, 0); err != nil {
+			return nil, fmt.Errorf("bench: dynamic buffer: %w", err)
+		}
+
+		// Clients query for the whole rebuild; each sample is one query
+		// issued while the flush was (or appeared) in flight.
+		during := make([][]time.Duration, dynamicClients)
+		done := make(chan struct{})
+		var wg, ready sync.WaitGroup
+		var qerr error
+		var qerrOnce sync.Once
+		ready.Add(dynamicClients)
+		for c := 0; c < dynamicClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// One unrecorded query, so every client is warm and
+				// mid-loop before the flush starts.
+				if err := query(c % n); err != nil {
+					qerrOnce.Do(func() { qerr = err })
+					ready.Done()
+					return
+				}
+				ready.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					qs := time.Now()
+					if err := query((c*131 + i) % n); err != nil {
+						qerrOnce.Do(func() { qerr = err })
+						return
+					}
+					during[c] = append(during[c], time.Since(qs))
+				}
+			}(c)
+		}
+		ready.Wait()
+
+		rs := time.Now()
+		var flushErr error
+		if stw {
+			mu.Lock()
+			flushErr = d.Flush()
+			mu.Unlock()
+		} else {
+			flushErr = d.Flush()
+		}
+		rebuild := time.Since(rs)
+		close(done)
+		wg.Wait()
+		if flushErr != nil {
+			return nil, fmt.Errorf("bench: dynamic flush (%s): %w", mode, flushErr)
+		}
+		if qerr != nil {
+			return nil, fmt.Errorf("bench: dynamic query (%s): %w", mode, qerr)
+		}
+
+		var all []time.Duration
+		for _, ds := range during {
+			all = append(all, ds...)
+		}
+		t.AddRow(mode,
+			FmtDuration(rebuild),
+			fmt.Sprintf("%d", len(all)),
+			FmtDuration(durQuantile(steady, 0.50)),
+			FmtDuration(durQuantile(steady, 0.99)),
+			FmtDuration(durQuantile(all, 0.50)),
+			FmtDuration(durQuantile(all, 0.99)),
+			FmtDuration(durQuantile(all, 1.0)))
+	}
+	return []*Table{t}, nil
+}

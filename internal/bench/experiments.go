@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"prepstages", "Beyond paper: per-stage preprocessing wall times and parallel worker count", PrepStages},
 		{"serving", "Beyond paper: steady-state serving throughput, latency quantiles, cache hit rate", Serving},
 		{"kernels", "Beyond paper: compact CSR32 vs wide CSR, fused vs explicit Schur operator, serial vs leveled ILU sweeps", Kernels},
+		{"dynamic", "Beyond paper: query latency during a dynamic-index rebuild, stop-the-world vs background flush", DynamicRebuild},
 	}
 }
 

@@ -71,6 +71,12 @@ type Observer struct {
 	// PrecondApply observes the wall time of each ILU(0) preconditioner
 	// application (the two triangular sweeps), in seconds.
 	PrecondApply *Histogram
+	// Rebuild observes the wall time of each background index rebuild
+	// (graph construction + full BePI preprocessing) on the dynamic-update
+	// path, in seconds. Queries are expected to keep completing while
+	// these run; compare its quantiles against QueryLatency's to verify
+	// rebuilds never show up as query stalls.
+	Rebuild *Histogram
 
 	// KernelBytes accumulates the bytes each observed kernel application
 	// streams (matrix arrays plus vectors), so bandwidth pressure is
@@ -121,6 +127,7 @@ func New(opts Options) *Observer {
 		Residual:     NewHistogram("final residual", ResidualBuckets()),
 		SchurApply:   NewHistogram("Schur operator apply (s)", LatencyBuckets()),
 		PrecondApply: NewHistogram("ILU preconditioner apply (s)", LatencyBuckets()),
+		Rebuild:      NewHistogram("index rebuild (s)", LatencyBuckets()),
 	}
 	cap := opts.TraceCapacity
 	if cap == 0 {

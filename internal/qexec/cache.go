@@ -5,55 +5,93 @@ import (
 	"sync"
 )
 
-// lruCache maps seed → score vector with least-recently-used eviction. The
-// cached vectors are handed out shared, so callers treat them as read-only;
-// the engine is immutable after preprocessing, so entries never go stale
-// within one executor's lifetime.
+// lruCache maps seed → score vector with least-recently-used eviction.
+// Entries are generation-tagged: each vector remembers the engine
+// generation it was solved under, and get only returns entries whose tag
+// matches the caller's current generation, so a cached score can never
+// cross an engine swap (SwapEngine also purges eagerly; the tag covers the
+// race where a solve that started before the swap populates the cache
+// after it). By default the cached vectors are handed out shared, so
+// callers treat them as read-only; copyOnHit makes get return a private
+// copy instead (Config.CopyCachedScores).
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[int]*list.Element
+	mu        sync.Mutex
+	cap       int
+	copyOnHit bool
+	ll        *list.List // front = most recently used
+	items     map[int]*list.Element
 }
 
 type lruEntry struct {
 	seed   int
+	gen    uint64
 	scores []float64
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, copyOnHit bool) *lruCache {
 	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[int]*list.Element, capacity),
+		cap:       capacity,
+		copyOnHit: copyOnHit,
+		ll:        list.New(),
+		items:     make(map[int]*list.Element, capacity),
 	}
 }
 
-func (c *lruCache) get(seed int) ([]float64, bool) {
+// get returns the cached scores for seed if they were solved under the
+// given engine generation. A stale entry (older generation) is evicted on
+// sight and reported as a miss.
+func (c *lruCache) get(seed int, gen uint64) ([]float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[seed]
 	if !ok {
 		return nil, false
 	}
+	ent := el.Value.(*lruEntry)
+	if ent.gen != gen {
+		c.ll.Remove(el)
+		delete(c.items, seed)
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).scores, true
+	if c.copyOnHit {
+		out := make([]float64, len(ent.scores))
+		copy(out, ent.scores)
+		return out, true
+	}
+	return ent.scores, true
 }
 
-func (c *lruCache) put(seed int, scores []float64) {
+// put stores scores solved under the given generation. It never replaces a
+// newer-generation entry with an older one (a pre-swap solve finishing
+// after the swap must not shadow a fresh result).
+func (c *lruCache) put(seed int, scores []float64, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[seed]; ok {
+		ent := el.Value.(*lruEntry)
+		if ent.gen > gen {
+			return
+		}
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).scores = scores
+		ent.scores, ent.gen = scores, gen
 		return
 	}
-	c.items[seed] = c.ll.PushFront(&lruEntry{seed: seed, scores: scores})
+	c.items[seed] = c.ll.PushFront(&lruEntry{seed: seed, gen: gen, scores: scores})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).seed)
 	}
+}
+
+// purge drops every entry; called on engine swap so stale vectors free
+// their memory immediately instead of lingering until LRU eviction.
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
 }
 
 // len reports the number of cached entries.

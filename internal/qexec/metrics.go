@@ -18,6 +18,8 @@ type counters struct {
 	shed      atomic.Int64
 	batches   atomic.Int64
 	executed  atomic.Int64
+	swaps     atomic.Int64
+	panics    atomic.Int64
 	batchHist [6]atomic.Int64
 }
 
@@ -56,10 +58,20 @@ type Metrics struct {
 	// BatchSizeHist is the batch-size histogram with bucket upper bounds
 	// 1, 2, 4, 8, 16, +Inf (see BatchBuckets).
 	BatchSizeHist [6]int64
+	// EngineSwaps counts SwapEngine calls that actually replaced the
+	// engine (the dynamic-graph rebuild path).
+	EngineSwaps int64
+	// SolvePanics counts engine solves that panicked and were recovered by
+	// the worker's panic barrier (each fails its whole batch with
+	// ErrSolvePanicked).
+	SolvePanics int64
 	// CacheEntries is the current number of cached score vectors (gauge).
 	CacheEntries int
 	// Queued is the current admission-queue occupancy (gauge).
 	Queued int
+	// Generation is the current engine generation (gauge; starts at 1,
+	// bumped on every swap).
+	Generation uint64
 }
 
 // Metrics snapshots the executor's counters. Each field is read atomically,
@@ -75,7 +87,10 @@ func (e *Executor) Metrics() Metrics {
 		Shed:        e.m.shed.Load(),
 		Batches:     e.m.batches.Load(),
 		Executed:    e.m.executed.Load(),
+		EngineSwaps: e.m.swaps.Load(),
+		SolvePanics: e.m.panics.Load(),
 		Queued:      len(e.reqs),
+		Generation:  e.Generation(),
 	}
 	for i := range m.BatchSizeHist {
 		m.BatchSizeHist[i] = e.m.batchHist[i].Load()
@@ -98,8 +113,11 @@ func (m Metrics) Delta(prev Metrics) Metrics {
 		Shed:         m.Shed - prev.Shed,
 		Batches:      m.Batches - prev.Batches,
 		Executed:     m.Executed - prev.Executed,
+		EngineSwaps:  m.EngineSwaps - prev.EngineSwaps,
+		SolvePanics:  m.SolvePanics - prev.SolvePanics,
 		CacheEntries: m.CacheEntries,
 		Queued:       m.Queued,
+		Generation:   m.Generation,
 	}
 	for i := range d.BatchSizeHist {
 		d.BatchSizeHist[i] = m.BatchSizeHist[i] - prev.BatchSizeHist[i]

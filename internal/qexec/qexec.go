@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bepi/internal/core"
@@ -41,6 +42,10 @@ var (
 	ErrOverloaded = errors.New("qexec: queue full, request shed")
 	// ErrClosed means the executor has been shut down.
 	ErrClosed = errors.New("qexec: executor closed")
+	// ErrSolvePanicked means the engine solve panicked under a request; the
+	// panic was recovered by the worker so the pool (and every coalesced
+	// waiter) keeps running, and the request fails with this error.
+	ErrSolvePanicked = errors.New("qexec: solve panicked")
 )
 
 // Config sizes the executor. Zero values select defaults; CacheEntries < 0
@@ -65,6 +70,10 @@ type Config struct {
 	// Timeout, if positive, is the per-query deadline applied on
 	// submission and enforced inside the iterative solver.
 	Timeout time.Duration
+	// CopyCachedScores makes cache hits return a private copy of the
+	// cached vector instead of the shared read-only one. Costs one O(N)
+	// copy per hit; turn it on when callers need to mutate Result.Scores.
+	CopyCachedScores bool
 	// Parallelism, when non-zero, re-points the engine's compute pool
 	// (core.Engine.SetParallelism) before the workers start: the sparse
 	// kernels under each solve then use up to that many cores. Zero keeps
@@ -113,10 +122,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// request is one query in flight through the pool.
+// request is one query in flight through the pool. eng is the engine
+// snapshot the query vector was built against: the worker solves on it even
+// if SwapEngine replaces the serving engine while the request queues, so a
+// batch never mixes engines (or query-vector lengths) across a swap.
 type request struct {
 	ctx   context.Context
 	q     []float64
+	eng   *core.Engine
 	done  chan struct{}
 	res   []float64
 	stats core.QueryStats
@@ -133,8 +146,12 @@ type request struct {
 // Result is a completed query: the score vector (shared and read-only when
 // it came from the cache), engine stats, and how the subsystem served it.
 type Result struct {
-	// Scores is indexed by original node id. When Cached is true it is
-	// shared with other callers and MUST NOT be mutated.
+	// Scores is indexed by original node id. When Cached or Coalesced is
+	// true it is shared with other callers and with the cache itself, and
+	// MUST NOT be mutated: writing through it silently corrupts every
+	// future hit for the same seed. Callers that need a private, mutable
+	// vector set Config.CopyCachedScores (cache hits then copy on the way
+	// out) or copy it themselves.
 	Scores []float64
 	Stats  core.QueryStats
 	// Cached means the result came from the LRU cache without any solve.
@@ -144,10 +161,21 @@ type Result struct {
 	Coalesced bool
 }
 
-// Executor is the query-execution subsystem over one preprocessed engine.
-// It is safe for concurrent use.
-type Executor struct {
+// engineState is the executor's current engine together with the
+// generation it belongs to, published as one unit so readers can never see
+// a new engine with an old generation (or vice versa).
+type engineState struct {
 	eng *core.Engine
+	gen uint64
+}
+
+// Executor is the query-execution subsystem over one preprocessed engine.
+// It is safe for concurrent use. The engine can be replaced at runtime with
+// SwapEngine (the dynamic-graph rebuild path); every cached or in-flight
+// result is generation-tagged so nothing solved against one engine is ever
+// served as an answer from another.
+type Executor struct {
+	eng atomic.Pointer[engineState]
 	cfg Config
 	obs *obs.Observer
 
@@ -165,9 +193,11 @@ type Executor struct {
 }
 
 // flight is one in-progress single-seed solve that duplicate requests wait
-// on.
+// on. gen pins the engine generation the solve runs under: requests on a
+// later generation never coalesce onto it.
 type flight struct {
 	done  chan struct{}
+	gen   uint64
 	res   []float64
 	stats core.QueryStats
 	err   error
@@ -177,15 +207,29 @@ type flight struct {
 // Call Close to stop it.
 func New(eng *core.Engine, cfg Config) *Executor {
 	cfg = cfg.withDefaults()
-	if cfg.Parallelism != 0 {
-		eng.SetParallelism(cfg.Parallelism)
-	}
 	e := &Executor{
-		eng:     eng,
 		cfg:     cfg,
 		obs:     cfg.Obs,
 		reqs:    make(chan *request, cfg.QueueDepth),
 		flights: make(map[int]*flight),
+	}
+	e.attach(eng)
+	e.eng.Store(&engineState{eng: eng, gen: 1})
+	if cfg.CacheEntries > 0 {
+		e.cache = newLRUCache(cfg.CacheEntries, cfg.CopyCachedScores)
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// attach points an engine's telemetry hooks and compute pool at this
+// executor; called for the initial engine and for every SwapEngine.
+func (e *Executor) attach(eng *core.Engine) {
+	if e.cfg.Parallelism != 0 {
+		eng.SetParallelism(e.cfg.Parallelism)
 	}
 	// Live convergence telemetry: one atomic add per solver iteration.
 	// (The hook is engine-wide; a second executor over the same engine
@@ -202,14 +246,59 @@ func New(eng *core.Engine, cfg Config) *Executor {
 		}
 		e.obs.KernelBytes.Add(bytes)
 	})
-	if cfg.CacheEntries > 0 {
-		e.cache = newLRUCache(cfg.CacheEntries)
+}
+
+// engine snapshots the current engine and its generation.
+func (e *Executor) engine() (*core.Engine, uint64) {
+	st := e.eng.Load()
+	return st.eng, st.gen
+}
+
+// Engine returns the engine currently being served.
+func (e *Executor) Engine() *core.Engine { return e.eng.Load().eng }
+
+// Generation returns the current engine generation. It starts at 1 and is
+// bumped by every SwapEngine.
+func (e *Executor) Generation() uint64 { return e.eng.Load().gen }
+
+// SwapEngine atomically replaces the engine the executor serves from — the
+// dynamic-graph rebuild path. The swap is the only coordination queries
+// ever see: requests already submitted keep solving against the engine
+// they captured, but their results are tagged with the old generation, so
+// neither the cache nor the singleflight map can serve them to queries
+// that arrive after the swap. The score cache is purged eagerly (stale
+// vectors free immediately) and the generation tag covers the remaining
+// race of a pre-swap solve completing post-swap.
+//
+// SwapEngine is safe to call concurrently with queries. The new engine
+// inherits the executor's telemetry hooks and, when Config.Parallelism is
+// set, its compute-pool setting.
+func (e *Executor) SwapEngine(eng *core.Engine) {
+	cur := e.eng.Load()
+	if cur.eng == eng {
+		return
 	}
-	e.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go e.worker()
+	e.attach(eng)
+	for {
+		if e.eng.CompareAndSwap(cur, &engineState{eng: eng, gen: cur.gen + 1}) {
+			break
+		}
+		cur = e.eng.Load()
+		if cur.eng == eng {
+			return
+		}
 	}
-	return e
+	e.m.swaps.Add(1)
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	// Drop the stale flights: post-swap arrivals start fresh solves
+	// instead of waiting on old-generation results. The old leaders still
+	// hold their flight pointers and only delete map entries that are
+	// identically theirs, so clearing here cannot strand a new flight.
+	e.fmu.Lock()
+	clear(e.flights)
+	e.fmu.Unlock()
 }
 
 // Config returns the executor's effective (defaulted) configuration.
@@ -234,15 +323,31 @@ func (e *Executor) Close() {
 }
 
 // worker owns one reusable workspace and runs coalesced batches until the
-// queue closes.
+// queue closes. Batches are homogeneous in engine: a request submitted
+// before an engine swap is solved on the engine it captured, so a swap
+// mid-queue splits a batch rather than mixing generations (carry holds the
+// first request of the next batch when a split happens). The workspace is
+// engine-bound and rebuilt when the worker moves to a new engine.
 func (e *Executor) worker() {
 	defer e.wg.Done()
-	ws := e.eng.NewWorkspace()
+	var ws *core.Workspace
+	var wsEng *core.Engine
 	batch := make([]*request, 0, e.cfg.MaxBatch)
 	ctxs := make([]context.Context, 0, e.cfg.MaxBatch)
 	qs := make([][]float64, 0, e.cfg.MaxBatch)
-	for r := range e.reqs {
-		r.deq = e.obs.Now()
+	var carry *request
+	for {
+		var r *request
+		if carry != nil {
+			r, carry = carry, nil
+		} else {
+			var ok bool
+			r, ok = <-e.reqs
+			if !ok {
+				return
+			}
+			r.deq = e.obs.Now()
+		}
 		batch = append(batch[:0], r)
 		// Take whatever is already queued, then hold the batch open for
 		// the batch window to let concurrent arrivals coalesce.
@@ -254,12 +359,16 @@ func (e *Executor) worker() {
 					break drain
 				}
 				r2.deq = e.obs.Now()
+				if r2.eng != r.eng {
+					carry = r2
+					break drain
+				}
 				batch = append(batch, r2)
 			default:
 				break drain
 			}
 		}
-		if len(batch) < e.cfg.MaxBatch && e.cfg.BatchWindow > 0 {
+		if carry == nil && len(batch) < e.cfg.MaxBatch && e.cfg.BatchWindow > 0 {
 			timer := time.NewTimer(e.cfg.BatchWindow)
 		window:
 			for len(batch) < e.cfg.MaxBatch {
@@ -269,6 +378,10 @@ func (e *Executor) worker() {
 						break window
 					}
 					r2.deq = e.obs.Now()
+					if r2.eng != r.eng {
+						carry = r2
+						break window
+					}
 					batch = append(batch, r2)
 				case <-timer.C:
 					break window
@@ -291,7 +404,22 @@ func (e *Executor) worker() {
 			ctxs = append(ctxs, br.ctx)
 			qs = append(qs, br.q)
 		}
-		res, stats, errs := e.eng.QueryVectorBatch(ctxs, qs, ws)
+		if wsEng != r.eng {
+			ws = r.eng.NewWorkspace()
+			wsEng = r.eng
+		}
+		res, stats, errs, panicErr := e.solveBatch(r.eng, ctxs, qs, ws)
+		if panicErr != nil {
+			// The engine panicked mid-solve: fail the whole batch instead
+			// of hanging it, discard the workspace (its buffers are in an
+			// unknown state), and keep the worker alive for the next batch.
+			wsEng, ws = nil, nil
+			for _, br := range batch {
+				br.err = panicErr
+				close(br.done)
+			}
+			continue
+		}
 		tEnd := e.obs.Now()
 		e.obs.BatchLatency.Observe(tEnd.Sub(tSolve).Seconds())
 		for i, br := range batch {
@@ -307,6 +435,21 @@ func (e *Executor) worker() {
 			close(br.done)
 		}
 	}
+}
+
+// solveBatch runs the multi-RHS engine solve with a panic barrier: a panic
+// inside the engine (or a hook it calls) is recovered and reported as an
+// ErrSolvePanicked-wrapped error so the batch fails loudly instead of
+// killing the worker and hanging every waiter.
+func (e *Executor) solveBatch(eng *core.Engine, ctxs []context.Context, qs [][]float64, ws *core.Workspace) (res [][]float64, stats []core.QueryStats, errs []error, panicErr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.m.panics.Add(1)
+			panicErr = fmt.Errorf("%w: %v", ErrSolvePanicked, p)
+		}
+	}()
+	res, stats, errs = eng.QueryVectorBatch(ctxs, qs, ws)
+	return res, stats, errs, nil
 }
 
 // queryObs is the observability state of one query moving through the
@@ -372,14 +515,15 @@ func (e *Executor) submit(r *request) error {
 }
 
 // do runs one query through admission control and the pool, honoring the
-// per-query deadline both while waiting and inside the solver.
-func (e *Executor) do(ctx context.Context, q []float64, qo *queryObs) ([]float64, core.QueryStats, error) {
+// per-query deadline both while waiting and inside the solver. eng is the
+// engine snapshot the query vector was built against.
+func (e *Executor) do(ctx context.Context, q []float64, eng *core.Engine, qo *queryObs) ([]float64, core.QueryStats, error) {
 	if e.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.Timeout)
 		defer cancel()
 	}
-	r := &request{ctx: ctx, q: q, done: make(chan struct{}), at: qo.at, enq: e.obs.Now()}
+	r := &request{ctx: ctx, q: q, eng: eng, done: make(chan struct{}), at: qo.at, enq: e.obs.Now()}
 	if err := e.submit(r); err != nil {
 		return nil, core.QueryStats{}, err
 	}
@@ -398,9 +542,12 @@ func (e *Executor) do(ctx context.Context, q []float64, qo *queryObs) ([]float64
 
 // run is the execution core of a single-seed query: cache hit, coalesce
 // onto an identical in-flight solve, or solve through the batched pool.
-func (e *Executor) run(ctx context.Context, seed int, qo *queryObs) (Result, error) {
+// eng and gen are the engine snapshot the query runs against; cache
+// lookups, cache fills, and singleflight joins all carry gen so nothing
+// crosses an engine swap.
+func (e *Executor) run(ctx context.Context, seed int, eng *core.Engine, gen uint64, qo *queryObs) (Result, error) {
 	if e.cache != nil {
-		scores, ok := e.cache.get(seed)
+		scores, ok := e.cache.get(seed, gen)
 		e.span(qo.at, "cache", qo.start)
 		if ok {
 			e.m.hits.Add(1)
@@ -411,7 +558,7 @@ func (e *Executor) run(ctx context.Context, seed int, qo *queryObs) (Result, err
 	e.m.misses.Add(1)
 
 	e.fmu.Lock()
-	if f, ok := e.flights[seed]; ok {
+	if f, ok := e.flights[seed]; ok && f.gen == gen {
 		e.fmu.Unlock()
 		e.m.coalesced.Add(1)
 		tw := e.obs.Now()
@@ -428,24 +575,35 @@ func (e *Executor) run(ctx context.Context, seed int, qo *queryObs) (Result, err
 			return Result{}, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
+	// Leader: overwrite any stale (older-generation) flight; its leader
+	// only removes entries that are identically its own.
+	f := &flight{done: make(chan struct{}), gen: gen}
 	e.flights[seed] = f
 	e.fmu.Unlock()
 
-	q := make([]float64, e.eng.N())
+	// The flight MUST be released no matter how the solve ends — error,
+	// engine panic surfacing through do, even a panic in the cache fill —
+	// or every coalesced waiter hangs until its context expires (forever
+	// with no deadline). The map entry is removed before the channel
+	// closes so late arrivals miss straight into the (already populated)
+	// cache instead of a dead flight.
+	defer func() {
+		e.fmu.Lock()
+		if e.flights[seed] == f {
+			delete(e.flights, seed)
+		}
+		e.fmu.Unlock()
+		close(f.done)
+	}()
+
+	q := make([]float64, eng.N())
 	q[seed] = 1
-	f.res, f.stats, f.err = e.do(ctx, q, qo)
-	if f.err == nil && e.cache != nil {
-		e.cache.put(seed, f.res)
-	}
-	// Remove the flight before signaling so late arrivals miss straight
-	// into the (already populated) cache instead of a dead flight.
-	e.fmu.Lock()
-	delete(e.flights, seed)
-	e.fmu.Unlock()
-	close(f.done)
+	f.res, f.stats, f.err = e.do(ctx, q, eng, qo)
 	if f.err != nil {
 		return Result{}, f.err
+	}
+	if e.cache != nil {
+		e.cache.put(seed, f.res, gen)
 	}
 	return Result{Scores: f.res, Stats: f.stats}, nil
 }
@@ -456,11 +614,12 @@ func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if seed < 0 || seed >= e.eng.N() {
-		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
+	eng, gen := e.engine()
+	if seed < 0 || seed >= eng.N() {
+		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, eng.N())
 	}
 	qo := e.startQuery("query", seed)
-	res, err := e.run(ctx, seed, &qo)
+	res, err := e.run(ctx, seed, eng, gen, &qo)
 	e.finish(&qo, "query", seed, &res, err)
 	return res, err
 }
@@ -472,12 +631,13 @@ func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(q) != e.eng.N() {
-		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), e.eng.N())
+	eng, _ := e.engine()
+	if len(q) != eng.N() {
+		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), eng.N())
 	}
 	qo := e.startQuery("personalized", -1)
 	e.m.misses.Add(1)
-	scores, stats, err := e.do(ctx, q, &qo)
+	scores, stats, err := e.do(ctx, q, eng, &qo)
 	var res Result
 	if err == nil {
 		res = Result{Scores: scores, Stats: stats}
@@ -497,11 +657,12 @@ func (e *Executor) TopK(ctx context.Context, seed, k int) ([]core.Ranked, Result
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if seed < 0 || seed >= e.eng.N() {
-		return nil, Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, e.eng.N())
+	eng, gen := e.engine()
+	if seed < 0 || seed >= eng.N() {
+		return nil, Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, eng.N())
 	}
 	qo := e.startQuery("query", seed)
-	res, err := e.run(ctx, seed, &qo)
+	res, err := e.run(ctx, seed, eng, gen, &qo)
 	if err != nil {
 		e.finish(&qo, "query", seed, &res, err)
 		return nil, Result{}, err

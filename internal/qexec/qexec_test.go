@@ -245,7 +245,7 @@ func TestAdmissionControlSheds(t *testing.T) {
 	for i := 0; i < N; i++ {
 		q := make([]float64, e.N())
 		q[i%e.N()] = 1
-		r := &request{ctx: context.Background(), q: q, done: make(chan struct{})}
+		r := &request{ctx: context.Background(), q: q, eng: e, done: make(chan struct{})}
 		err := ex.submit(r)
 		switch {
 		case errors.Is(err, ErrOverloaded):

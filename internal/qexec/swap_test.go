@@ -1,0 +1,325 @@
+package qexec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/gen"
+)
+
+// freshEngine preprocesses a private engine (distinct from the shared one in
+// eng) so tests can attach hooks or swap without disturbing other tests.
+func freshEngine(t testing.TB, scale, ef int, seed int64) *core.Engine {
+	t.Helper()
+	g := gen.RMAT(gen.DefaultRMAT(scale, ef, seed))
+	e, err := core.Preprocess(g, core.Options{})
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	return e
+}
+
+// TestSwapEngineInvalidatesCache is the acceptance check that no stale
+// cached score survives an engine swap: a seed cached against generation 1
+// must be re-solved on the new engine after SwapEngine, and the scores must
+// match the new engine, not the old one.
+func TestSwapEngineInvalidatesCache(t *testing.T) {
+	e1 := freshEngine(t, 8, 6, 5)
+	e2 := freshEngine(t, 8, 6, 99) // same N, different edges → different scores
+	if e1.N() != e2.N() {
+		t.Fatalf("test setup: engines differ in size: %d vs %d", e1.N(), e2.N())
+	}
+	ex := New(e1, Config{})
+	defer ex.Close()
+
+	const seed = 17
+	first, err := ex.Query(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ex.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+
+	ex.SwapEngine(e2)
+	if g := ex.Generation(); g != 2 {
+		t.Fatalf("generation after swap = %d, want 2", g)
+	}
+	if m := ex.Metrics(); m.CacheEntries != 0 {
+		t.Fatalf("cache holds %d entries after swap, want 0", m.CacheEntries)
+	}
+
+	second, err := ex.Query(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("query after swap served a stale cache hit")
+	}
+	want, _, err := e2.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(second.Scores, want); d > 1e-12 {
+		t.Fatalf("post-swap scores diverge from new engine by %g", d)
+	}
+	if d := maxAbsDiff(first.Scores, second.Scores); d == 0 {
+		t.Fatal("post-swap scores identical to old engine's — swap had no effect")
+	}
+	// And the post-swap result is cached under the new generation.
+	third, err := ex.Query(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("repeat query after swap should hit the new-generation cache")
+	}
+}
+
+// TestSwapEngineSamePointerNoop checks swapping in the engine already being
+// served neither bumps the generation nor purges the cache.
+func TestSwapEngineSamePointerNoop(t *testing.T) {
+	e1 := freshEngine(t, 7, 5, 3)
+	ex := New(e1, Config{})
+	defer ex.Close()
+	if _, err := ex.Query(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	ex.SwapEngine(e1)
+	if g := ex.Generation(); g != 1 {
+		t.Fatalf("same-pointer swap bumped generation to %d", g)
+	}
+	res, err := ex.Query(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("same-pointer swap purged the cache")
+	}
+}
+
+// TestSwapDoesNotCoalesceAcrossGenerations stalls a solve on the old
+// engine, swaps mid-flight, and checks a new query for the same seed does
+// NOT piggyback on the old-generation flight: it must be solved on the new
+// engine and return the new engine's scores.
+func TestSwapDoesNotCoalesceAcrossGenerations(t *testing.T) {
+	e1 := freshEngine(t, 8, 6, 5)
+	e2 := freshEngine(t, 8, 6, 99)
+
+	ex := New(e1, Config{CacheEntries: -1, Workers: 2})
+	defer ex.Close()
+
+	// Stall every solve on e1 until released. Installed after New because
+	// the executor attaches its own telemetry hook at construction.
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	releaseStall := func() { releaseOnce.Do(func() { close(release) }) }
+	defer releaseStall() // unblock the stalled worker even if the test fatals
+	var stallOnce sync.Once
+	started := make(chan struct{})
+	e1.SetIterHook(func(int, float64) {
+		stallOnce.Do(func() { close(started) })
+		<-release
+	})
+	defer e1.SetIterHook(nil)
+
+	const seed = 11
+	type out struct {
+		res Result
+		err error
+	}
+	oldDone := make(chan out, 1)
+	go func() {
+		r, err := ex.Query(context.Background(), seed)
+		oldDone <- out{r, err}
+	}()
+	<-started // the old-generation solve is in flight and stalled
+
+	ex.SwapEngine(e2)
+
+	// Same seed on the new generation: must not join the stalled flight.
+	newDone := make(chan out, 1)
+	go func() {
+		r, err := ex.Query(context.Background(), seed)
+		newDone <- out{r, err}
+	}()
+
+	var got out
+	select {
+	case got = <-newDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("post-swap query blocked behind the old-generation flight")
+	}
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	if got.res.Coalesced {
+		t.Fatal("post-swap query coalesced onto an old-generation flight")
+	}
+	want, _, err := e2.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got.res.Scores, want); d > 1e-12 {
+		t.Fatalf("post-swap query diverges from new engine by %g", d)
+	}
+
+	releaseStall() // let the old solve finish; it must not poison anything
+	old := <-oldDone
+	if old.err != nil {
+		t.Fatalf("old-generation query failed: %v", old.err)
+	}
+	// A fresh query still works and still reflects the new engine.
+	again, err := ex.Query(context.Background(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(again.Scores, want); d > 1e-12 {
+		t.Fatalf("late old-generation completion corrupted serving state: diverges by %g", d)
+	}
+}
+
+// TestSolvePanicFailsFlight injects a panic into the engine's iteration
+// hook and checks the worker's panic barrier: the leader and every
+// coalesced waiter get ErrSolvePanicked instead of hanging on a flight
+// whose done channel never closes, and the executor keeps serving.
+func TestSolvePanicFailsFlight(t *testing.T) {
+	e := freshEngine(t, 8, 6, 7)
+	// The fault injects through the per-iteration solver hook, so the test
+	// needs a seed whose Schur solve actually iterates — spoke/dead-end
+	// seeds can finish in zero iterations and never reach the hook.
+	seed := -1
+	for s := 0; s < e.N(); s++ {
+		if _, st, err := e.Query(s); err == nil && st.Iterations > 0 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Skip("no seed on this graph exercises the iterative solver")
+	}
+	ex := New(e, Config{Workers: 1, MaxBatch: 8, BatchWindow: 20 * time.Millisecond})
+	defer ex.Close()
+
+	// Installed after New: the executor attaches its own hook at
+	// construction and would overwrite one set earlier.
+	var panicking sync.Map
+	e.SetIterHook(func(int, float64) {
+		if _, ok := panicking.Load("arm"); ok {
+			panic("injected solver fault")
+		}
+	})
+	defer e.SetIterHook(nil)
+
+	panicking.Store("arm", true)
+	const N = 6
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ex.Query(context.Background(), seed) // same seed → coalesce
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("queries hung after a solve panic — flight.done never closed")
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrSolvePanicked) {
+			t.Fatalf("query %d: got %v, want ErrSolvePanicked", i, err)
+		}
+	}
+	if m := ex.Metrics(); m.SolvePanics == 0 {
+		t.Fatal("panic barrier fired but SolvePanics counter is zero")
+	}
+
+	// The worker survived and the discarded workspace was rebuilt: the
+	// executor still answers once the fault clears.
+	panicking.Delete("arm")
+	res, err := ex.Query(context.Background(), seed)
+	if err != nil {
+		t.Fatalf("executor dead after panic recovery: %v", err)
+	}
+	want, _, err := e.Query(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Scores, want); d > 1e-12 {
+		t.Fatalf("post-panic solve diverges by %g", d)
+	}
+}
+
+// TestCachedScoresSharedByDefault documents the zero-copy contract: without
+// CopyCachedScores, a cache hit returns the executor's own slice, so a
+// caller mutation would be visible to the next hit. The test detects
+// mutation leaking through the cache.
+func TestCachedScoresSharedByDefault(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{})
+	defer ex.Close()
+	if _, err := ex.Query(context.Background(), 31); err != nil {
+		t.Fatal(err)
+	}
+	hit1, err := ex.Query(context.Background(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit1.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	hit1.Scores[0] = 12345 // caller violates the read-only contract
+	hit2, err := ex.Query(context.Background(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	if hit2.Scores[0] != 12345 {
+		t.Fatal("default mode should share the cached slice (zero-copy); mutation did not propagate — did the default change? update Result.Scores docs")
+	}
+}
+
+// TestCopyCachedScoresIsolates checks the CopyCachedScores knob: every
+// cache hit gets a private copy, so caller mutations cannot corrupt the
+// cache or other callers.
+func TestCopyCachedScoresIsolates(t *testing.T) {
+	e := eng(t)
+	ex := New(e, Config{CopyCachedScores: true})
+	defer ex.Close()
+	miss, err := ex.Query(context.Background(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit1, err := ex.Query(context.Background(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit1.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	orig := hit1.Scores[0]
+	hit1.Scores[0] = 9999
+	hit2, err := ex.Query(context.Background(), 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	if hit2.Scores[0] != orig {
+		t.Fatalf("mutation leaked through the cache with CopyCachedScores: got %g, want %g", hit2.Scores[0], orig)
+	}
+	if d := maxAbsDiff(hit2.Scores, miss.Scores); d != 0 {
+		t.Fatalf("copied hit diverges from the solved scores by %g", d)
+	}
+}

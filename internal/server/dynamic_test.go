@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bepi"
+	"bepi/internal/qexec"
+)
+
+func testDynamicServer(t *testing.T) (*Server, *bepi.Dynamic) {
+	t.Helper()
+	g := bepi.RMAT(8, 6, 5)
+	d, err := bepi.NewDynamic(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewDynamic(d, qexec.Config{})
+	t.Cleanup(s.Close)
+	return s, d
+}
+
+func post(t *testing.T, s *Server, path string, payload any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if payload != nil {
+		if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", path, rec.Body.String(), err)
+	}
+	return rec, body
+}
+
+// waitFlush polls GET /flush/{id} until the rebuild settles.
+func waitFlush(t *testing.T, s *Server, id uint64) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, body := get(t, s, fmt.Sprintf("/flush/%d", id))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/flush/%d: status %d body %v", id, rec.Code, body)
+		}
+		if body["state"] != string(bepi.RebuildRunning) {
+			return body
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("rebuild %d never settled", id)
+	return nil
+}
+
+// TestDynamicEndpointsEndToEnd drives the full online-update flow over
+// HTTP: buffer edges, start an async flush, poll its status, and check the
+// swapped-in engine serves the new edge — including past the score cache.
+func TestDynamicEndpointsEndToEnd(t *testing.T) {
+	s, d := testDynamicServer(t)
+	n := d.N()
+
+	// Prime the cache for a seed, so a stale hit after the swap would show.
+	rec, before := get(t, s, "/query?seed=0&full=true")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: status %d", rec.Code)
+	}
+	if rec, _ := get(t, s, "/query?seed=0&full=true"); rec.Code != http.StatusOK {
+		t.Fatalf("repeat query: status %d", rec.Code)
+	}
+
+	// One new node plus edges both ways: guaranteed real (non-no-op) work.
+	rec, body := post(t, s, "/edges", EdgesRequest{
+		AddNodes: 1,
+		Add:      []EdgeJSON{{Src: 0, Dst: n}, {Src: n, Dst: 0}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/edges: status %d body %v", rec.Code, body)
+	}
+	if int(body["nodes"].(float64)) != n+1 {
+		t.Fatalf("nodes = %v, want %d", body["nodes"], n+1)
+	}
+	if int(body["pending"].(float64)) != 2 {
+		t.Fatalf("pending = %v, want 2", body["pending"])
+	}
+	genBefore := uint64(body["generation"].(float64))
+
+	rec, body = post(t, s, "/flush", nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("/flush: status %d body %v", rec.Code, body)
+	}
+	id := uint64(body["id"].(float64))
+
+	final := waitFlush(t, s, id)
+	if final["state"] != string(bepi.RebuildDone) {
+		t.Fatalf("rebuild state %v (error %v)", final["state"], final["error"])
+	}
+	if gen := uint64(final["generation"].(float64)); gen != genBefore+1 {
+		t.Fatalf("generation %d -> %d, want +1", genBefore, gen)
+	}
+	if int(final["applied"].(float64)) != 2 {
+		t.Fatalf("applied = %v, want 2", final["applied"])
+	}
+
+	// The executor's cache was generation-invalidated: the same seed must
+	// be re-solved on the new engine and score the new node.
+	rec, after := get(t, s, "/query?seed=0&full=true")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-flush query: status %d", rec.Code)
+	}
+	if after["cached"] == true {
+		t.Fatal("post-swap query served from the pre-swap cache")
+	}
+	scores := after["scores"].([]any)
+	if len(scores) != n+1 {
+		t.Fatalf("post-flush scores length %d, want %d", len(scores), n+1)
+	}
+	if scores[n].(float64) <= 0 {
+		t.Fatal("new node unreachable after flush")
+	}
+	if len(before["scores"].([]any)) == len(scores) {
+		t.Fatal("test setup: pre-flush vector already had the new node")
+	}
+
+	// Metrics reflect the dynamic subsystem.
+	rec, m := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if uint64(m["generation"].(float64)) != genBefore+1 {
+		t.Fatalf("metrics generation %v, want %d", m["generation"], genBefore+1)
+	}
+	if int64(m["engine_swaps"].(float64)) != 1 {
+		t.Fatalf("metrics engine_swaps %v, want 1", m["engine_swaps"])
+	}
+	if int(m["pending_updates"].(float64)) != 0 {
+		t.Fatalf("metrics pending_updates %v, want 0", m["pending_updates"])
+	}
+
+	// Prometheus exposition includes the new families.
+	req := httptest.NewRequest(http.MethodGet, "/metrics.prom", nil)
+	prec := httptest.NewRecorder()
+	s.ServeHTTP(prec, req)
+	for _, fam := range []string{"bepi_index_generation", "bepi_pending_updates", "bepi_rebuild_seconds", "bepi_engine_swaps_total"} {
+		if !bytes.Contains(prec.Body.Bytes(), []byte(fam)) {
+			t.Fatalf("prometheus exposition missing %s", fam)
+		}
+	}
+}
+
+// TestFlushStatusErrors covers the /flush/{id} edge cases.
+func TestFlushStatusErrors(t *testing.T) {
+	s, _ := testDynamicServer(t)
+	if rec, _ := get(t, s, "/flush/notanumber"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", rec.Code)
+	}
+	if rec, _ := get(t, s, "/flush/999"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", rec.Code)
+	}
+}
+
+// TestEdgesValidation covers /edges error paths.
+func TestEdgesValidation(t *testing.T) {
+	s, d := testDynamicServer(t)
+	if rec, _ := post(t, s, "/edges", EdgesRequest{}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty update: status %d", rec.Code)
+	}
+	if rec, _ := post(t, s, "/edges", EdgesRequest{Add: []EdgeJSON{{Src: 0, Dst: 1 << 30}}}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range edge: status %d", rec.Code)
+	}
+	if rec, _ := post(t, s, "/edges", EdgesRequest{AddNodes: -1}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative add_nodes: status %d", rec.Code)
+	}
+	if p := d.Pending(); p != 0 {
+		t.Fatalf("failed updates left %d pending", p)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/edges", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /edges: status %d", rec.Code)
+	}
+}
+
+// TestDynamicEndpointsOnStaticServer checks a static server answers the
+// dynamic endpoints with 409 rather than a panic or a silent no-op.
+func TestDynamicEndpointsOnStaticServer(t *testing.T) {
+	s, _ := testServer(t)
+	defer s.Close()
+	if rec, _ := post(t, s, "/edges", EdgesRequest{Add: []EdgeJSON{{Src: 0, Dst: 1}}}); rec.Code != http.StatusConflict {
+		t.Fatalf("/edges on static server: status %d", rec.Code)
+	}
+	if rec, _ := post(t, s, "/flush", nil); rec.Code != http.StatusConflict {
+		t.Fatalf("/flush on static server: status %d", rec.Code)
+	}
+	if rec, _ := get(t, s, "/flush/1"); rec.Code != http.StatusConflict {
+		t.Fatalf("/flush/1 on static server: status %d", rec.Code)
+	}
+}

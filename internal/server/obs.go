@@ -82,9 +82,22 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 	}
 	p.Counter("bepi_kernel_bytes_total", "Bytes streamed by the observed solve kernels.", float64(o.KernelBytes.Load()))
 
+	// Dynamic-update subsystem: rebuild cost, buffered updates, and the
+	// generation the executor is serving from.
+	if o.Rebuild != nil {
+		p.Histogram("bepi_rebuild_seconds", "Wall time of each background index rebuild.", o.Rebuild.Snapshot())
+	}
+	if s.dyn != nil {
+		p.Gauge("bepi_pending_updates", "Edge updates buffered since the last rebuild.", float64(s.dyn.Pending()))
+	}
+	p.Gauge("bepi_index_generation", "Serving-engine generation (bumped on every swap).", float64(xm.Generation))
+	p.Counter("bepi_engine_swaps_total", "Engine swaps applied by the executor.", float64(xm.EngineSwaps))
+	p.Counter("bepi_solve_panics_total", "Engine solves recovered by the panic barrier.", float64(xm.SolvePanics))
+
 	// Index and preprocessing (Table 2 / Figure 1 quantities, live).
-	st := s.eng.Internal().PrepStats()
-	p.Gauge("bepi_index_bytes", "Preprocessed index size.", float64(s.eng.MemoryBytes()))
+	eng := s.engine()
+	st := eng.Internal().PrepStats()
+	p.Gauge("bepi_index_bytes", "Preprocessed index size.", float64(eng.MemoryBytes()))
 	p.Gauge("bepi_nodes", "Graph nodes.", float64(st.N))
 	p.Gauge("bepi_edges", "Graph edges.", float64(st.M))
 	p.Gauge("bepi_schur_nnz", "Nonzeros in the Schur complement.", float64(st.SchurNNZ))

@@ -38,9 +38,12 @@ import (
 )
 
 // Server is an http.Handler serving RWR queries from one engine through a
-// qexec.Executor.
+// qexec.Executor. In dynamic mode (NewDynamic) the engine is replaced
+// in-place when a background rebuild swaps, so it is held behind an atomic
+// pointer; handlers snapshot it once per request.
 type Server struct {
-	eng  *bepi.Engine
+	eng  atomic.Pointer[bepi.Engine]
+	dyn  *bepi.Dynamic // nil for a static index
 	exec *qexec.Executor
 	mux  *http.ServeMux
 
@@ -59,10 +62,10 @@ func New(eng *bepi.Engine) *Server { return NewWithConfig(eng, qexec.Config{}) }
 // (pool size, batch window, cache entries, queue depth, per-query timeout).
 func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
 	s := &Server{
-		eng:  eng,
 		exec: qexec.New(eng.Internal(), cfg),
 		mux:  http.NewServeMux(),
 	}
+	s.eng.Store(eng)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -70,8 +73,34 @@ func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/personalized", s.handlePersonalized)
+	s.mux.HandleFunc("/edges", s.handleEdges)
+	s.mux.HandleFunc("/flush", s.handleFlush)
+	s.mux.HandleFunc("/flush/", s.handleFlushStatus)
 	return s
 }
+
+// NewDynamic builds a server over a dynamic (online-update) index: the
+// /edges and /flush endpoints buffer updates and trigger background
+// rebuilds, and every successful rebuild atomically swaps the serving
+// engine, purges the executor's score cache, and bumps the index
+// generation — queries in flight keep completing on the old engine, and no
+// stale cached score survives the swap.
+func NewDynamic(d *bepi.Dynamic, cfg qexec.Config) *Server {
+	s := NewWithConfig(d.Engine(), cfg)
+	s.dyn = d
+	d.OnSwap(func(eng *bepi.Engine, gen uint64, rebuild time.Duration) {
+		s.eng.Store(eng)
+		s.exec.SwapEngine(eng.Internal())
+		s.exec.Observer().Rebuild.Observe(rebuild.Seconds())
+	})
+	return s
+}
+
+// engine snapshots the currently serving engine.
+func (s *Server) engine() *bepi.Engine { return s.eng.Load() }
+
+// Dynamic returns the underlying dynamic index, or nil for a static one.
+func (s *Server) Dynamic() *bepi.Dynamic { return s.dyn }
 
 // Executor exposes the execution subsystem (for tests and shutdown hooks).
 func (s *Server) Executor() *qexec.Executor { return s.exec }
@@ -109,6 +138,14 @@ type MetricsResponse struct {
 	QueryLatency LatencySummary `json:"query_latency"`
 	QueueWait    LatencySummary `json:"queue_wait"`
 
+	// Dynamic-update subsystem (generation is 1 and the rest zero for a
+	// static index).
+	Generation     uint64         `json:"generation"`
+	EngineSwaps    int64          `json:"engine_swaps"`
+	SolvePanics    int64          `json:"solve_panics"`
+	PendingUpdates int            `json:"pending_updates"`
+	RebuildLatency LatencySummary `json:"rebuild_latency"`
+
 	// Prep is the preprocessing stage/size breakdown (core.PrepStats).
 	Prep PrepMetrics `json:"prep"`
 }
@@ -118,30 +155,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.handleMetricsProm(w, r)
 		return
 	}
+	eng := s.engine()
 	q := s.queries.Load() + s.personalized.Load()
 	var avg float64
 	if q > 0 {
 		avg = float64(s.queryNanos.Load()) / float64(q) / 1e6
 	}
-	prepMS := float64(s.eng.PreprocessTime().Microseconds()) / 1000
+	prepMS := float64(eng.PreprocessTime().Microseconds()) / 1000
 	var ratio float64
 	if prepMS > 0 {
 		ratio = float64(q) * avg / prepMS
 	}
 	xm := s.exec.Metrics()
 	o := s.exec.Observer()
-	st := s.eng.Internal().PrepStats()
+	st := eng.Internal().PrepStats()
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	var slow int64
 	if o.SlowLog != nil {
 		slow = o.SlowLog.Count()
+	}
+	var pending int
+	if s.dyn != nil {
+		pending = s.dyn.Pending()
 	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Queries:         s.queries.Load(),
 		Personalized:    s.personalized.Load(),
 		Errors:          s.errors.Load(),
 		AvgQueryMS:      avg,
-		IndexBytes:      s.eng.MemoryBytes(),
+		IndexBytes:      eng.MemoryBytes(),
 		PreprocessMS:    prepMS,
 		QueriesPerIndex: ratio,
 		CacheHits:       xm.CacheHits,
@@ -159,6 +201,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SlowQueries:     slow,
 		QueryLatency:    summarize(o.QueryLatency),
 		QueueWait:       summarize(o.QueueWait),
+		Generation:      xm.Generation,
+		EngineSwaps:     xm.EngineSwaps,
+		SolvePanics:     xm.SolvePanics,
+		PendingUpdates:  pending,
+		RebuildLatency:  summarize(o.Rebuild),
 		Prep: PrepMetrics{
 			TotalMS:     ms(st.Total),
 			ReorderMS:   ms(st.Reorder),
@@ -215,7 +262,7 @@ func (s *Server) failQuery(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes": s.eng.N()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes": s.engine().N()})
 }
 
 // StatsResponse is the /stats payload.
@@ -238,20 +285,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	st := s.eng.Internal().PrepStats()
-	opts := s.eng.Internal().Options()
+	eng := s.engine()
+	st := eng.Internal().PrepStats()
+	opts := eng.Internal().Options()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Nodes:          s.eng.N(),
+		Nodes:          eng.N(),
 		Spokes:         st.N1,
 		Hubs:           st.N2,
 		Deadends:       st.N3,
 		SchurNNZ:       st.SchurNNZ,
-		IndexBytes:     s.eng.MemoryBytes(),
+		IndexBytes:     eng.MemoryBytes(),
 		HubRatio:       st.HubRatio,
 		RestartProb:    opts.C,
 		Tolerance:      opts.Tol,
 		Variant:        opts.Variant.String(),
-		Preconditioned: s.eng.Internal().Preconditioned(),
+		Preconditioned: eng.Internal().Preconditioned(),
 	})
 }
 
@@ -316,8 +364,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "seed %q is not an integer", seedStr)
 		return
 	}
-	if seed < 0 || seed >= s.eng.N() {
-		s.fail(w, http.StatusBadRequest, "seed %d out of range [0,%d)", seed, s.eng.N())
+	if n := s.engine().N(); seed < 0 || seed >= n {
+		s.fail(w, http.StatusBadRequest, "seed %d out of range [0,%d)", seed, n)
 		return
 	}
 	topk := 10
@@ -387,12 +435,12 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "weights must be non-empty")
 		return
 	}
-	q := make([]float64, s.eng.N())
+	q := make([]float64, s.engine().N())
 	var sum float64
 	seeds := map[int]bool{}
 	for k, v := range req.Weights {
 		node, err := strconv.Atoi(k)
-		if err != nil || node < 0 || node >= s.eng.N() {
+		if err != nil || node < 0 || node >= len(q) {
 			s.fail(w, http.StatusBadRequest, "bad node id %q", k)
 			return
 		}
