@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving profile
 
 build:
 	$(GO) build ./...
@@ -41,11 +41,12 @@ race:
 # histograms' record-vs-snapshot race test, the level-scheduled ILU
 # triangular solves, the compact CSR32 kernel paths, and the dynamic-index
 # rebuild/swap protocol (root package: concurrent queries, updates, and
-# background flushes over one index).
+# background flushes over one index), and the cluster tier's routing ring
+# and generation-guarded scatter-gather against concurrent engine swaps.
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation' \
 		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
-		./internal/obs/ ./internal/qexec/ ./internal/server/
+		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/
 
 # The CI gate: everything must build, lint clean (vet always; staticcheck/
 # govulncheck when installed), and pass under the race detector, with an
@@ -76,6 +77,15 @@ bench-kernels:
 # it so regressions that reintroduce flush blocking show up as a p99 jump.
 bench-dynamic:
 	$(GO) run ./cmd/bepi-bench dynamic -size tiny
+
+# Smoke-run the serving-tier experiments: steady-state qexec serving
+# (throughput, latency quantiles, cache hit rate) and the sharded cluster
+# coordinator at 1/2/4 in-process replicas. CI runs it so a regression in
+# routing, per-replica caching, or the scatter-gather path shows up as a
+# qps or hit-rate drop in the table.
+bench-serving:
+	$(GO) run ./cmd/bepi-bench serving -size tiny
+	$(GO) run ./cmd/bepi-bench cluster -size tiny
 
 # Capture a CPU profile from a running bepi-serve (start it with
 # -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:

@@ -21,6 +21,17 @@
 //	curl -X POST localhost:8080/flush
 //	curl localhost:8080/flush/1
 //
+// With -coordinator the process serves no index of its own; it fronts a
+// fleet of replica bepi-serve instances with consistent-hash routing keyed
+// by seed, health checking with ejection/readmission, and generation-aware
+// scatter-gather (see internal/cluster):
+//
+//	bepi-serve -coordinator -replicas localhost:8081,localhost:8082 -addr :8080
+//
+//	curl localhost:8080/query?seed=42&topk=10      # routed to seed 42's owner
+//	curl -X POST localhost:8080/batch -d '{"seeds":[1,2,3],"topk":10}'
+//	curl localhost:8080/replicas
+//
 // Observability: /metrics serves JSON (or Prometheus text to scrapers),
 // /debug/traces the recent per-query stage traces. -slow-query logs queries
 // over a threshold through log/slog; -trace-sample thins tracing under
@@ -43,10 +54,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bepi"
+	"bepi/internal/cluster"
 	"bepi/internal/obs"
 	"bepi/internal/qexec"
 	"bepi/internal/server"
@@ -69,6 +82,66 @@ func pprofServer(addr string) *http.Server {
 		}
 	}()
 	return srv
+}
+
+// runCoordinator is the -coordinator entry point: front the replica fleet
+// with the cluster coordinator instead of serving an index locally.
+func runCoordinator(addr, replicaList string, healthInterval time.Duration, retries int, debugAddr string, shutdownTimeout time.Duration) {
+	var backends []cluster.Backend
+	for _, a := range strings.Split(replicaList, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		backends = append(backends, cluster.NewHTTPBackend(a, nil))
+	}
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "bepi-serve: -coordinator requires -replicas host:port[,host:port...]")
+		os.Exit(2)
+	}
+	coord, err := cluster.New(backends, cluster.Config{
+		HealthInterval: healthInterval,
+		Retries:        retries,
+	})
+	if err != nil {
+		log.Fatalf("bepi-serve: %v", err)
+	}
+	log.Printf("coordinator: %d replicas, health probes every %v, retry budget %d",
+		len(backends), healthInterval, retries)
+	if debugAddr != "" {
+		dbg := pprofServer(debugAddr)
+		defer dbg.Close()
+		log.Printf("obs: pprof on %s/debug/pprof/", debugAddr)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           cluster.NewHandler(coord),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("coordinating RWR queries on %s", addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("bepi-serve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down (in-flight grace %v)", shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("bepi-serve: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("bepi-serve: %v", err)
+		}
+		coord.Close()
+		log.Printf("bye")
+	}
 }
 
 func layoutName(compact bool) string {
@@ -94,7 +167,15 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold via slog (0 = disabled)")
 	traceSample := flag.Int("trace-sample", qexec.DefaultTraceSample, "trace every Nth query into /debug/traces (1 = all; tracing allocates, sampling keeps it off the hot path)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fronting -replicas instead of serving an index")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses (host:port) for -coordinator mode")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "coordinator replica health-probe period")
+	retriesFlag := flag.Int("retries", 2, "coordinator retry budget: failed queries retry up to this many ring successors")
 	flag.Parse()
+	if *coordinator {
+		runCoordinator(*addr, *replicas, *healthInterval, *retriesFlag, *debugAddr, *shutdownTimeout)
+		return
+	}
 	if (*indexPath == "") == (*graphPath == "") {
 		fmt.Fprintln(os.Stderr, "bepi-serve: exactly one of -index (static) or -graph (dynamic) is required")
 		os.Exit(2)

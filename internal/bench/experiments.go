@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"serving", "Beyond paper: steady-state serving throughput, latency quantiles, cache hit rate", Serving},
 		{"kernels", "Beyond paper: compact CSR32 vs wide CSR, fused vs explicit Schur operator, serial vs leveled ILU sweeps", Kernels},
 		{"dynamic", "Beyond paper: query latency during a dynamic-index rebuild, stop-the-world vs background flush", DynamicRebuild},
+		{"cluster", "Beyond paper: sharded serving — coordinator qps and cache hit rate at 1/2/4 in-process replicas", Cluster},
 	}
 }
 

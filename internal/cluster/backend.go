@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"bepi/internal/server"
+)
+
+// Health is a replica's readiness report: the (index hash, generation)
+// pair it is serving plus load signals the coordinator's health checker
+// and router use.
+type Health struct {
+	Nodes           int
+	Generation      uint64
+	IndexHash       string
+	QueueDepth      int
+	RebuildInFlight bool
+}
+
+// Partial is one replica's answer to a single-seed query: a ranking (and,
+// for scatter-gather merges, the full score vector) tagged with the
+// engine identity it was computed under. Scores may be shared with the
+// replica's cache and MUST be treated as read-only.
+type Partial struct {
+	Seed       int
+	Replica    string
+	Top        []server.RankedEntry
+	Scores     []float64
+	Iterations int
+	Cached     bool
+	Generation uint64
+	IndexHash  string
+	DurationMS float64
+}
+
+// Tag returns the partial's merge key: the (index hash, generation) pair.
+func (p Partial) Tag() Tag { return Tag{Hash: p.IndexHash, Gen: p.Generation} }
+
+// Tag identifies one engine incarnation: the index fingerprint (content
+// identity, comparable across replicas) and the generation (swap counter,
+// comparable across replicas that apply the same update stream — and, per
+// replica, the authoritative "did an engine swap happen under this
+// query" signal). The scatter-gather merge requires all partials to share
+// one tag.
+type Tag struct {
+	Hash string
+	Gen  uint64
+}
+
+func (t Tag) String() string { return fmt.Sprintf("%s@g%d", t.Hash, t.Gen) }
+
+// Backend is one replica as the coordinator sees it: a name (its ring
+// identity) plus the query and health-check calls. Implementations must be
+// safe for concurrent use.
+type Backend interface {
+	Name() string
+	// Query answers a single-seed query; full requests the whole score
+	// vector (used by the scatter-gather merge), otherwise a top-k ranking.
+	Query(ctx context.Context, seed, topk int, full bool) (Partial, error)
+	// Health probes the replica's readiness.
+	Health(ctx context.Context) (Health, error)
+}
+
+// BackendError is a replica-side failure with its HTTP-shaped status and
+// the replica's back-off hint, so the coordinator can decide between
+// retrying the ring successor and failing fast.
+type BackendError struct {
+	Replica    string
+	Status     int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("replica %s: %s (status %d)", e.Replica, e.Msg, e.Status)
+}
+
+// Retryable reports whether an error is worth retrying on the ring
+// successor: replica overload (429), unavailability (5xx), and transport
+// errors are; validation errors (4xx) are not — the successor would reject
+// them identically. The caller's own expired/canceled context is final.
+func Retryable(err error) bool {
+	var be *BackendError
+	if errors.As(err, &be) {
+		switch be.Status {
+		case http.StatusTooManyRequests,
+			http.StatusInternalServerError,
+			http.StatusBadGateway,
+			http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Transport-level failure (connection refused, reset, timeout): the
+	// replica may be down; its successor is the right next stop.
+	return err != nil
+}
+
+// RetryAfterOf returns the replica's back-off hint, or 0.
+func RetryAfterOf(err error) time.Duration {
+	var be *BackendError
+	if errors.As(err, &be) {
+		return be.RetryAfter
+	}
+	return 0
+}
+
+// LocalBackend serves coordinator traffic from an in-process server.Core —
+// the zero-copy replica path used by tests and the `cluster` bench
+// experiment, and the reason the serving core is transport-agnostic.
+type LocalBackend struct {
+	name string
+	core *server.Core
+}
+
+// NewLocalBackend wraps a serving core as a named replica.
+func NewLocalBackend(name string, c *server.Core) *LocalBackend {
+	return &LocalBackend{name: name, core: c}
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return b.name }
+
+// Core exposes the wrapped serving core (for tests and benches).
+func (b *LocalBackend) Core() *server.Core { return b.core }
+
+// Query implements Backend over the core's transport-agnostic query path.
+func (b *LocalBackend) Query(ctx context.Context, seed, topk int, full bool) (Partial, error) {
+	resp, err := b.core.Query(ctx, server.QueryRequest{Seed: seed, TopK: topk, Full: full})
+	if err != nil {
+		status := server.StatusOf(err)
+		return Partial{}, &BackendError{
+			Replica:    b.name,
+			Status:     status,
+			RetryAfter: time.Duration(server.RetryAfterSeconds(status)) * time.Second,
+			Msg:        err.Error(),
+		}
+	}
+	return Partial{
+		Seed:       resp.Seed,
+		Replica:    b.name,
+		Top:        resp.Top,
+		Scores:     resp.Scores,
+		Iterations: resp.Iterations,
+		Cached:     resp.Cached,
+		Generation: resp.Generation,
+		IndexHash:  resp.IndexHash,
+		DurationMS: resp.DurationMS,
+	}, nil
+}
+
+// Health implements Backend.
+func (b *LocalBackend) Health(ctx context.Context) (Health, error) {
+	h := b.core.Health()
+	return Health{
+		Nodes:           h.Nodes,
+		Generation:      h.Generation,
+		IndexHash:       h.IndexHash,
+		QueueDepth:      h.QueueDepth,
+		RebuildInFlight: h.RebuildInFlight,
+	}, nil
+}
+
+// HTTPBackend serves coordinator traffic from a remote bepi-serve replica
+// over its public HTTP endpoints (/query, /healthz).
+type HTTPBackend struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps a replica address ("host:port" or a full URL) as a
+// backend. A nil client selects a dedicated one with sane keep-alive
+// defaults; the per-request deadline comes from the caller's context.
+func NewHTTPBackend(addr string, client *http.Client) *HTTPBackend {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &HTTPBackend{name: addr, base: base, client: client}
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.name }
+
+// get issues a GET and decodes the JSON body into out, mapping non-200
+// statuses (and their Retry-After hints) to BackendError.
+func (b *HTTPBackend) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg := strings.TrimSpace(string(body))
+		var decoded struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &decoded) == nil && decoded.Error != "" {
+			msg = decoded.Error
+		}
+		var ra time.Duration
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		return &BackendError{Replica: b.name, Status: resp.StatusCode, RetryAfter: ra, Msg: msg}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query implements Backend over GET /query.
+func (b *HTTPBackend) Query(ctx context.Context, seed, topk int, full bool) (Partial, error) {
+	v := url.Values{}
+	v.Set("seed", strconv.Itoa(seed))
+	if topk > 0 {
+		v.Set("topk", strconv.Itoa(topk))
+	}
+	if full {
+		v.Set("full", "true")
+	}
+	var resp server.QueryResponse
+	if err := b.get(ctx, "/query?"+v.Encode(), &resp); err != nil {
+		return Partial{}, err
+	}
+	return Partial{
+		Seed:       resp.Seed,
+		Replica:    b.name,
+		Top:        resp.Top,
+		Scores:     resp.Scores,
+		Iterations: resp.Iterations,
+		Cached:     resp.Cached,
+		Generation: resp.Generation,
+		IndexHash:  resp.IndexHash,
+		DurationMS: resp.DurationMS,
+	}, nil
+}
+
+// Health implements Backend over GET /healthz.
+func (b *HTTPBackend) Health(ctx context.Context) (Health, error) {
+	var h server.HealthResponse
+	if err := b.get(ctx, "/healthz", &h); err != nil {
+		return Health{}, err
+	}
+	return Health{
+		Nodes:           h.Nodes,
+		Generation:      h.Generation,
+		IndexHash:       h.IndexHash,
+		QueueDepth:      h.QueueDepth,
+		RebuildInFlight: h.RebuildInFlight,
+	}, nil
+}

@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"bepi/internal/obs"
+	"bepi/internal/server"
+)
+
+// Handler is the coordinator's HTTP binding — what `bepi-serve -coordinator`
+// listens with.
+//
+// Endpoints:
+//
+//	GET  /query?seed=N&topk=K             routed single-seed query
+//	POST /batch {"seeds":[...],"topk":K}  scatter-gather batch (degraded
+//	                                      responses report failed shards)
+//	POST /personalized {"weights":{...}}  linearity-decomposed PPR merge
+//	GET  /healthz                         coordinator readiness
+//	GET  /replicas                        per-replica health/routing state
+//	GET  /metrics, /metrics.prom          routing metrics (JSON/Prometheus)
+type Handler struct {
+	coord *Coordinator
+	mux   *http.ServeMux
+}
+
+// NewHandler binds HTTP routes over a coordinator.
+func NewHandler(c *Coordinator) *Handler {
+	h := &Handler{coord: c, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/query", h.handleQuery)
+	h.mux.HandleFunc("/batch", h.handleBatch)
+	h.mux.HandleFunc("/personalized", h.handlePersonalized)
+	h.mux.HandleFunc("/healthz", h.handleHealth)
+	h.mux.HandleFunc("/replicas", h.handleReplicas)
+	h.mux.HandleFunc("/metrics", h.handleMetrics)
+	h.mux.HandleFunc("/metrics.prom", h.handleMetricsProm)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps coordinator errors onto HTTP: replica errors keep their
+// status (and Retry-After hint), a generation mix and an empty ring are
+// retryable-soon conditions (503 + Retry-After).
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	retryAfter := 0
+	var be *BackendError
+	switch {
+	case errors.As(err, &be):
+		status = be.Status
+		if be.RetryAfter > 0 {
+			retryAfter = int(be.RetryAfter.Seconds())
+		} else {
+			retryAfter = server.RetryAfterSeconds(status)
+		}
+	case errors.Is(err, ErrGenerationMix), errors.Is(err, ErrNoReplicas):
+		status = http.StatusServiceUnavailable
+		retryAfter = server.RetryAfterSeconds(status)
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		return
+	}
+	seedStr := r.URL.Query().Get("seed")
+	seed, err := strconv.Atoi(seedStr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("seed %q is not an integer", seedStr)})
+		return
+	}
+	topk := 0
+	if v := r.URL.Query().Get("topk"); v != "" {
+		if topk, err = strconv.Atoi(v); err != nil || topk < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad topk %q", v)})
+			return
+		}
+	}
+	p, err := h.coord.Query(r.Context(), seed, topk, r.URL.Query().Get("full") == "true")
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	Seeds []int `json:"seeds"`
+	TopK  int   `json:"topk"`
+}
+
+// batchEntry is one seed's row in the /batch response.
+type batchEntry struct {
+	Seed       int                  `json:"seed"`
+	Top        []server.RankedEntry `json:"top,omitempty"`
+	Replica    string               `json:"replica,omitempty"`
+	Generation uint64               `json:"generation,omitempty"`
+	IndexHash  string               `json:"index_hash,omitempty"`
+	Cached     bool                 `json:"cached,omitempty"`
+	Error      string               `json:"error,omitempty"`
+}
+
+// BatchResponse is the /batch payload.
+type BatchResponse struct {
+	Results      []batchEntry `json:"results"`
+	Degraded     bool         `json:"degraded"`
+	MixedTags    bool         `json:"mixed_tags,omitempty"`
+	ShardsOK     []string     `json:"shards_ok"`
+	ShardsFailed []string     `json:"shards_failed,omitempty"`
+}
+
+func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "seeds must be non-empty"})
+		return
+	}
+	res, err := h.coord.Batch(r.Context(), req.Seeds, req.TopK)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := BatchResponse{
+		Results:      make([]batchEntry, len(res.Seeds)),
+		Degraded:     res.Degraded,
+		MixedTags:    res.MixedTags,
+		ShardsOK:     res.ShardsOK,
+		ShardsFailed: res.ShardsFailed,
+	}
+	for i, seed := range res.Seeds {
+		e := batchEntry{Seed: seed}
+		if p := res.Results[i]; p != nil {
+			e.Top = p.Top
+			e.Replica = p.Replica
+			e.Generation = p.Generation
+			e.IndexHash = p.IndexHash
+			e.Cached = p.Cached
+		} else if res.Errs[i] != nil {
+			e.Error = res.Errs[i].Error()
+		}
+		resp.Results[i] = e
+	}
+	// A fully failed batch is an error; a partially failed one is a 200
+	// with degraded=true — the caller decides whether partial coverage is
+	// acceptable.
+	status := http.StatusOK
+	if len(resp.ShardsOK) == 0 && res.Degraded {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(server.RetryAfterSeconds(status)))
+	}
+	writeJSON(w, status, resp)
+}
+
+// PersonalizedResponse is the /personalized payload.
+type PersonalizedResponse struct {
+	Top        []server.RankedEntry `json:"top"`
+	Generation uint64               `json:"generation"`
+	IndexHash  string               `json:"index_hash,omitempty"`
+	Replicas   []string             `json:"replicas"`
+	Refetched  int                  `json:"refetched,omitempty"`
+	CacheHits  int                  `json:"cache_hits"`
+}
+
+func (h *Handler) handlePersonalized(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return
+	}
+	var req server.PersonalizedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	weights := make(map[int]float64, len(req.Weights))
+	for k, v := range req.Weights {
+		node, err := strconv.Atoi(k)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad node id %q", k)})
+			return
+		}
+		weights[node] = v
+	}
+	m, err := h.coord.Personalized(r.Context(), weights, req.TopK)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PersonalizedResponse{
+		Top:        m.Top,
+		Generation: m.Tag.Gen,
+		IndexHash:  m.Tag.Hash,
+		Replicas:   m.Replicas,
+		Refetched:  m.Refetched,
+		CacheHits:  m.CacheHits,
+	})
+}
+
+// HealthResponse is the coordinator's /healthz payload.
+type HealthResponse struct {
+	Status          string `json:"status"`
+	Replicas        int    `json:"replicas"`
+	HealthyReplicas int    `json:"healthy_replicas"`
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ring := h.coord.Ring()
+	resp := HealthResponse{
+		Status:          "ok",
+		Replicas:        len(h.coord.names),
+		HealthyReplicas: ring.Len(),
+	}
+	status := http.StatusOK
+	switch {
+	case ring.Len() == 0:
+		resp.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	case ring.Len() < len(h.coord.names):
+		resp.Status = "degraded"
+	}
+	writeJSON(w, status, resp)
+}
+
+func (h *Handler) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.coord.Replicas())
+}
+
+// MetricsResponse is the coordinator's /metrics JSON payload.
+type MetricsResponse struct {
+	Batches          int64           `json:"batches"`
+	Merges           int64           `json:"merges"`
+	MixRefused       int64           `json:"generation_mix_refused"`
+	DegradedBatches  int64           `json:"degraded_batches"`
+	Replicas         []ReplicaStatus `json:"replicas"`
+	RingMembers      []string        `json:"ring_members"`
+	ConfiguredVnodes int             `json:"vnodes"`
+}
+
+func (h *Handler) metrics() MetricsResponse {
+	return MetricsResponse{
+		Batches:          h.coord.batches.Load(),
+		Merges:           h.coord.merges.Load(),
+		MixRefused:       h.coord.mixRefused.Load(),
+		DegradedBatches:  h.coord.degraded.Load(),
+		Replicas:         h.coord.Replicas(),
+		RingMembers:      h.coord.Ring().Members(),
+		ConfiguredVnodes: h.coord.cfg.Vnodes,
+	}
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") ||
+		r.URL.Query().Get("format") == "prometheus" {
+		h.handleMetricsProm(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.metrics())
+}
+
+func (h *Handler) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	m := h.metrics()
+	p.Counter("bepi_cluster_batches_total", "Scatter-gather batch queries.", float64(m.Batches))
+	p.Counter("bepi_cluster_merges_total", "Personalized merges completed.", float64(m.Merges))
+	p.Counter("bepi_cluster_generation_mix_refused_total",
+		"Merges refused because partials spanned index generations.", float64(m.MixRefused))
+	p.Counter("bepi_cluster_degraded_batches_total", "Batches with at least one failed seed.", float64(m.DegradedBatches))
+	p.Gauge("bepi_cluster_ring_size", "Healthy replicas on the ring.", float64(len(m.RingMembers)))
+
+	routed := map[string]float64{}
+	errs := map[string]float64{}
+	retries := map[string]float64{}
+	ejections := map[string]float64{}
+	readmissions := map[string]float64{}
+	healthy := map[string]float64{}
+	gen := map[string]float64{}
+	for _, rs := range m.Replicas {
+		routed[rs.Name] = float64(rs.Routed)
+		errs[rs.Name] = float64(rs.Errors)
+		retries[rs.Name] = float64(rs.Retries)
+		ejections[rs.Name] = float64(rs.Ejections)
+		readmissions[rs.Name] = float64(rs.Readmissions)
+		if rs.Healthy {
+			healthy[rs.Name] = 1
+		} else {
+			healthy[rs.Name] = 0
+		}
+		gen[rs.Name] = float64(rs.Generation)
+	}
+	p.CounterVec("bepi_cluster_replica_routed_total", "Queries routed per replica.", "replica", routed)
+	p.CounterVec("bepi_cluster_replica_errors_total", "Failed replica attempts.", "replica", errs)
+	p.CounterVec("bepi_cluster_replica_retries_total", "Retry attempts landing on this replica.", "replica", retries)
+	p.CounterVec("bepi_cluster_replica_ejections_total", "Health-check ejections.", "replica", ejections)
+	p.CounterVec("bepi_cluster_replica_readmissions_total", "Health-check readmissions.", "replica", readmissions)
+	p.GaugeVec("bepi_cluster_replica_healthy", "1 if the replica is on the ring.", "replica", healthy)
+	p.GaugeVec("bepi_cluster_replica_generation", "Replica's last reported index generation.", "replica", gen)
+	for _, name := range h.coord.names {
+		rep := h.coord.replicas[name]
+		p.Histogram("bepi_cluster_replica_latency_seconds_"+promSafe(name),
+			"Attempt latency for replica "+name+".", rep.latency.Snapshot())
+	}
+	obs.WriteGoStats(p)
+}
+
+// promSafe rewrites a replica name (often host:port) into a metric-name
+// suffix.
+func promSafe(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

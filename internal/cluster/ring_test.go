@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+const ringTestSeeds = 20000
+
+// TestRingDeterministicPlacement: placement depends only on the member set
+// and vnode count, never on construction order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	b := NewRing([]string{"r3", "r1", "r0", "r2", "r2"}, 64) // shuffled + dup
+	for seed := 0; seed < ringTestSeeds; seed++ {
+		if a.Owner(seed) != b.Owner(seed) {
+			t.Fatalf("seed %d: owner %q vs %q for the same member set", seed, a.Owner(seed), b.Owner(seed))
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOrphanedKeys is the consistent-hashing contract
+// on member removal: every key owned by a survivor keeps its owner; only
+// the removed member's keys move.
+func TestRingRemovalMovesOnlyOrphanedKeys(t *testing.T) {
+	full := NewRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	smaller := full.Without("r2")
+	moved := 0
+	for seed := 0; seed < ringTestSeeds; seed++ {
+		before, after := full.Owner(seed), smaller.Owner(seed)
+		if before != "r2" && after != before {
+			t.Fatalf("seed %d moved %q→%q though %q survived", seed, before, after, before)
+		}
+		if before == "r2" {
+			moved++
+			if after == "r2" {
+				t.Fatalf("seed %d still owned by removed member", seed)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; test is vacuous")
+	}
+}
+
+// TestRingAdditionMovesBoundedFraction: adding one member to N moves only
+// the keys the newcomer claims — close to 1/(N+1) of them and none between
+// survivors.
+func TestRingAdditionMovesBoundedFraction(t *testing.T) {
+	base := NewRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	grown := base.With("r4")
+	moved := 0
+	for seed := 0; seed < ringTestSeeds; seed++ {
+		before, after := base.Owner(seed), grown.Owner(seed)
+		if after != before {
+			if after != "r4" {
+				t.Fatalf("seed %d moved %q→%q, not to the new member", seed, before, after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / ringTestSeeds
+	// Ideal share is 1/5; vnode placement is hash-random, so allow a wide
+	// but still "bounded movement" band.
+	if frac < 0.05 || frac > 0.40 {
+		t.Fatalf("added member claimed %.1f%% of keys, want ~20%%", 100*frac)
+	}
+}
+
+// TestRingBalance: with enough vnodes no member owns a pathological share.
+func TestRingBalance(t *testing.T) {
+	members := []string{"r0", "r1", "r2", "r3"}
+	r := NewRing(members, 64)
+	counts := map[string]int{}
+	for seed := 0; seed < ringTestSeeds; seed++ {
+		counts[r.Owner(seed)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / ringTestSeeds
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts %v)", m, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingSuccessors: the retry order starts at the owner, lists distinct
+// members, and on single-member rings is just that member.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"r0", "r1", "r2"}, 32)
+	for seed := 0; seed < 100; seed++ {
+		succ := r.Successors(seed, 5)
+		if len(succ) != 3 {
+			t.Fatalf("seed %d: got %d successors, want all 3", seed, len(succ))
+		}
+		if succ[0] != r.Owner(seed) {
+			t.Fatalf("seed %d: retry order starts at %q, owner is %q", seed, succ[0], r.Owner(seed))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("seed %d: duplicate member %q in %v", seed, m, succ)
+			}
+			seen[m] = true
+		}
+	}
+	one := NewRing([]string{"solo"}, 8)
+	if got := one.Successors(7, 3); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-member successors = %v", got)
+	}
+	if NewRing(nil, 8).Owner(1) != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestRingWithWithout: With/Without round-trip back to the same placement.
+func TestRingWithWithout(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 32)
+	rt := r.Without("b").With("b")
+	for seed := 0; seed < 1000; seed++ {
+		if r.Owner(seed) != rt.Owner(seed) {
+			t.Fatalf("seed %d: owner changed across Without/With round trip", seed)
+		}
+	}
+	if r.With("a") != r {
+		t.Fatal("With(existing) should return the same ring")
+	}
+	if r.Without("zzz") != r {
+		t.Fatal("Without(absent) should return the same ring")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("replica-%d", i)
+	}
+	r := NewRing(members, DefaultVnodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(i)
+	}
+}

@@ -118,6 +118,22 @@ func (p *PromWriter) GaugeVec(name, help, label string, vals map[string]float64)
 	}
 }
 
+// CounterVec writes one counter family with a sample per value of the
+// given label, in sorted label order for a reproducible exposition.
+func (p *PromWriter) CounterVec(name, help, label string, vals map[string]float64) {
+	if !p.family(name, "counter", help) {
+		return
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(name, fmt.Sprintf("%s=%q", label, k), vals[k])
+	}
+}
+
 // Histogram writes a snapshot as a Prometheus histogram family: cumulative
 // `le` buckets, then _sum and _count.
 func (p *PromWriter) Histogram(name, help string, s HistSnapshot) {

@@ -159,6 +159,13 @@ type Result struct {
 	// Coalesced means this request piggybacked on an identical in-flight
 	// query (singleflight) instead of solving on its own.
 	Coalesced bool
+	// Generation is the engine generation the scores belong to (see
+	// Executor.Generation). Cache hits, coalesced joins, and fresh solves
+	// all carry the generation of the engine they were computed against, so
+	// callers that must not mix scores across an engine swap — the cluster
+	// coordinator's scatter-gather merge in particular — can compare tags
+	// instead of guessing from timing.
+	Generation uint64
 }
 
 // engineState is the executor's current engine together with the
@@ -552,7 +559,7 @@ func (e *Executor) run(ctx context.Context, seed int, eng *core.Engine, gen uint
 		if ok {
 			e.m.hits.Add(1)
 			qo.at.SetCached()
-			return Result{Scores: scores, Cached: true}, nil
+			return Result{Scores: scores, Cached: true, Generation: gen}, nil
 		}
 	}
 	e.m.misses.Add(1)
@@ -570,7 +577,7 @@ func (e *Executor) run(ctx context.Context, seed int, eng *core.Engine, gen uint
 				return Result{}, f.err
 			}
 			qo.at.SetSolve(f.stats.Iterations, f.stats.Residual)
-			return Result{Scores: f.res, Stats: f.stats, Coalesced: true}, nil
+			return Result{Scores: f.res, Stats: f.stats, Coalesced: true, Generation: f.gen}, nil
 		case <-ctx.Done():
 			return Result{}, ctx.Err()
 		}
@@ -605,7 +612,7 @@ func (e *Executor) run(ctx context.Context, seed int, eng *core.Engine, gen uint
 	if e.cache != nil {
 		e.cache.put(seed, f.res, gen)
 	}
-	return Result{Scores: f.res, Stats: f.stats}, nil
+	return Result{Scores: f.res, Stats: f.stats, Generation: gen}, nil
 }
 
 // Query answers a single-seed RWR query: cache hit, coalesce onto an
@@ -631,7 +638,7 @@ func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	eng, _ := e.engine()
+	eng, gen := e.engine()
 	if len(q) != eng.N() {
 		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), eng.N())
 	}
@@ -640,7 +647,7 @@ func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error
 	scores, stats, err := e.do(ctx, q, eng, &qo)
 	var res Result
 	if err == nil {
-		res = Result{Scores: scores, Stats: stats}
+		res = Result{Scores: scores, Stats: stats, Generation: gen}
 	}
 	e.finish(&qo, "personalized", -1, &res, err)
 	if err != nil {

@@ -75,7 +75,7 @@ func rebuildJSON(st bepi.RebuildStatus) RebuildJSON {
 
 // requireDynamic rejects dynamic-only endpoints on a static server.
 func (s *Server) requireDynamic(w http.ResponseWriter) bool {
-	if s.dyn == nil {
+	if s.core.dyn == nil {
 		s.fail(w, http.StatusConflict, "server is serving a static index; restart with -graph for online updates")
 		return false
 	}
@@ -104,24 +104,24 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for i := 0; i < req.AddNodes; i++ {
-		s.dyn.AddNode()
+		s.core.dyn.AddNode()
 	}
 	for _, e := range req.Add {
-		if err := s.dyn.AddEdge(e.Src, e.Dst); err != nil {
+		if err := s.core.dyn.AddEdge(e.Src, e.Dst); err != nil {
 			s.fail(w, http.StatusBadRequest, "add %d->%d: %v", e.Src, e.Dst, err)
 			return
 		}
 	}
 	for _, e := range req.Remove {
-		if err := s.dyn.RemoveEdge(e.Src, e.Dst); err != nil {
+		if err := s.core.dyn.RemoveEdge(e.Src, e.Dst); err != nil {
 			s.fail(w, http.StatusBadRequest, "remove %d->%d: %v", e.Src, e.Dst, err)
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, EdgesResponse{
-		Nodes:      s.dyn.N(),
-		Pending:    s.dyn.Pending(),
-		Generation: s.dyn.Generation(),
+		Nodes:      s.core.dyn.N(),
+		Pending:    s.core.dyn.Pending(),
+		Generation: s.core.dyn.Generation(),
 	})
 }
 
@@ -136,7 +136,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if !s.requireDynamic(w) {
 		return
 	}
-	rb := s.dyn.StartFlush()
+	rb := s.core.dyn.StartFlush()
 	writeJSON(w, http.StatusAccepted, rebuildJSON(rb.Status()))
 }
 
@@ -154,7 +154,7 @@ func (s *Server) handleFlushStatus(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad rebuild id %q", idStr)
 		return
 	}
-	st, ok := s.dyn.RebuildStatus(id)
+	st, ok := s.core.dyn.RebuildStatus(id)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown rebuild id %d (history is bounded)", id)
 		return

@@ -38,12 +38,12 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) writeProm(p *obs.PromWriter) {
 	// Served traffic.
-	p.Counter("bepi_queries_total", "Single-seed queries served.", float64(s.queries.Load()))
-	p.Counter("bepi_personalized_total", "Personalized (multi-seed) queries served.", float64(s.personalized.Load()))
-	p.Counter("bepi_errors_total", "Requests answered with an error status.", float64(s.errors.Load()))
+	p.Counter("bepi_queries_total", "Single-seed queries served.", float64(s.core.queries.Load()))
+	p.Counter("bepi_personalized_total", "Personalized (multi-seed) queries served.", float64(s.core.personalized.Load()))
+	p.Counter("bepi_errors_total", "Requests answered with an error status.", float64(s.core.errors.Load()))
 
 	// Query-execution subsystem counters.
-	xm := s.exec.Metrics()
+	xm := s.core.exec.Metrics()
 	p.Counter("bepi_cache_hits_total", "Queries answered from the score cache.", float64(xm.CacheHits))
 	p.Counter("bepi_cache_misses_total", "Queries past the cache.", float64(xm.CacheMisses))
 	p.Counter("bepi_coalesced_total", "Queries that rode an identical in-flight solve.", float64(xm.Coalesced))
@@ -54,7 +54,7 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 		qexec.BatchBuckets(), xm.BatchSizeHist[:], float64(xm.Executed))
 
 	// Observer histograms and live counters.
-	o := s.exec.Observer()
+	o := s.core.exec.Observer()
 	p.Counter("bepi_solver_iterations_total", "Iterative-solver iterations across all solves.", float64(o.SolverIters.Load()))
 	if sl := o.SlowLog; sl != nil {
 		p.Counter("bepi_slow_queries_total", "Queries slower than the slow-query threshold.", float64(sl.Count()))
@@ -87,15 +87,15 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 	if o.Rebuild != nil {
 		p.Histogram("bepi_rebuild_seconds", "Wall time of each background index rebuild.", o.Rebuild.Snapshot())
 	}
-	if s.dyn != nil {
-		p.Gauge("bepi_pending_updates", "Edge updates buffered since the last rebuild.", float64(s.dyn.Pending()))
+	if s.core.dyn != nil {
+		p.Gauge("bepi_pending_updates", "Edge updates buffered since the last rebuild.", float64(s.core.dyn.Pending()))
 	}
 	p.Gauge("bepi_index_generation", "Serving-engine generation (bumped on every swap).", float64(xm.Generation))
 	p.Counter("bepi_engine_swaps_total", "Engine swaps applied by the executor.", float64(xm.EngineSwaps))
 	p.Counter("bepi_solve_panics_total", "Engine solves recovered by the panic barrier.", float64(xm.SolvePanics))
 
 	// Index and preprocessing (Table 2 / Figure 1 quantities, live).
-	eng := s.engine()
+	eng := s.core.Engine()
 	st := eng.Internal().PrepStats()
 	p.Gauge("bepi_index_bytes", "Preprocessed index size.", float64(eng.MemoryBytes()))
 	p.Gauge("bepi_nodes", "Graph nodes.", float64(st.N))
@@ -144,7 +144,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	traces := s.exec.Observer().Tracer.Recent(n)
+	traces := s.core.exec.Observer().Tracer.Recent(n)
 	if traces == nil {
 		traces = []obs.Trace{} // tracing disabled: an empty list, not null
 	}

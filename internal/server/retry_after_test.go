@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bepi/internal/qexec"
+)
+
+// TestRetryAfterOnRejection: admission-control rejections (429) and
+// unavailability (503) carry a Retry-After hint; client errors don't.
+func TestRetryAfterOnRejection(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   string
+	}{
+		{http.StatusTooManyRequests, "1"},
+		{http.StatusServiceUnavailable, "2"},
+		{http.StatusBadRequest, ""},
+		{http.StatusInternalServerError, ""},
+	} {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.status, "x")
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("status %d: Retry-After = %q, want %q", tc.status, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterOnClosedExecutor: a real rejection path — querying a closed
+// server — answers 503 with the Retry-After header set.
+func TestRetryAfterOnClosedExecutor(t *testing.T) {
+	s, _ := testServer(t)
+	s.Close()
+	req := httptest.NewRequest(http.MethodGet, "/query?seed=1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestStatusOf: the transport-agnostic error mapping the HTTP binding and
+// the cluster LocalBackend both rely on.
+func TestStatusOf(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{qexec.ErrOverloaded, http.StatusTooManyRequests},
+		{qexec.ErrClosed, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable},
+		{badRequest("x"), http.StatusBadRequest},
+	} {
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestHealthzReadinessFields: the readiness payload carries the generation,
+// index hash, queue depth and rebuild flag the coordinator keys on.
+func TestHealthzReadinessFields(t *testing.T) {
+	s, _ := testServer(t)
+	defer s.Close()
+	_, body := get(t, s, "/healthz")
+	if _, ok := body["generation"]; !ok {
+		t.Fatalf("healthz missing generation: %v", body)
+	}
+	if h, ok := body["index_hash"].(string); !ok || h == "" {
+		t.Fatalf("healthz missing index_hash: %v", body)
+	}
+	if _, ok := body["queue_depth"]; !ok {
+		t.Fatalf("healthz missing queue_depth: %v", body)
+	}
+	if v, ok := body["rebuild_in_flight"]; !ok || v != false {
+		t.Fatalf("healthz rebuild_in_flight = %v, want false on a static index", v)
+	}
+	if body["generation"].(float64) != 1 {
+		t.Fatalf("initial generation = %v, want 1", body["generation"])
+	}
+}
+
+// TestQueryResponseTagged: /query responses carry the (generation,
+// index hash) tag the cluster merge guard compares.
+func TestQueryResponseTagged(t *testing.T) {
+	s, _ := testServer(t)
+	defer s.Close()
+	_, body := get(t, s, "/query?seed=1&topk=3")
+	if body["generation"].(float64) != 1 {
+		t.Fatalf("generation = %v, want 1", body["generation"])
+	}
+	if h, ok := body["index_hash"].(string); !ok || h == "" {
+		t.Fatalf("query response missing index_hash: %v", body)
+	}
+}

@@ -1,14 +1,21 @@
 // Package server exposes a preprocessed BePI index over HTTP/JSON — the
 // "many queries against one index" serving shape the paper's preprocessing
-// phase exists for. The handler is stdlib net/http only; all query traffic
-// runs through the internal/qexec execution subsystem (worker pool with
-// pooled workspaces → batch scheduler → LRU cache + singleflight →
-// admission control), so concurrent requests coalesce, hot seeds hit the
-// cache, and overload sheds with 429 instead of piling up goroutines.
+// phase exists for. The package splits into a transport-agnostic serving
+// core (Core: query/top-k/personalized/metrics logic over a qexec
+// executor) and a thin HTTP binding (Server), so the same engine can
+// simultaneously serve public HTTP traffic and the cluster coordinator's
+// in-process replica path (internal/cluster). All query traffic runs
+// through the internal/qexec execution subsystem (worker pool with pooled
+// workspaces → batch scheduler → LRU cache + singleflight → admission
+// control), so concurrent requests coalesce, hot seeds hit the cache, and
+// overload sheds with 429 (plus a Retry-After hint) instead of piling up
+// goroutines.
 //
 // Endpoints:
 //
-//	GET  /healthz                          liveness probe
+//	GET  /healthz                          readiness: generation, index
+//	                                       hash, queue depth, rebuild
+//	                                       in-flight
 //	GET  /stats                            index statistics
 //	GET  /metrics                          traffic + qexec counters, latency
 //	                                       quantiles, prep stats (JSON;
@@ -25,33 +32,19 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"bepi"
-	"bepi/internal/core"
 	"bepi/internal/qexec"
 )
 
-// Server is an http.Handler serving RWR queries from one engine through a
-// qexec.Executor. In dynamic mode (NewDynamic) the engine is replaced
-// in-place when a background rebuild swaps, so it is held behind an atomic
-// pointer; handlers snapshot it once per request.
+// Server is the http.Handler binding over a serving Core.
 type Server struct {
-	eng  atomic.Pointer[bepi.Engine]
-	dyn  *bepi.Dynamic // nil for a static index
-	exec *qexec.Executor
+	core *Core
 	mux  *http.ServeMux
-
-	// Served-traffic counters (atomic; exposed at /metrics).
-	queries      atomic.Int64
-	personalized atomic.Int64
-	errors       atomic.Int64
-	queryNanos   atomic.Int64
 }
 
 // New builds a server over a preprocessed engine with default execution
@@ -61,11 +54,25 @@ func New(eng *bepi.Engine) *Server { return NewWithConfig(eng, qexec.Config{}) }
 // NewWithConfig builds a server with explicit query-execution settings
 // (pool size, batch window, cache entries, queue depth, per-query timeout).
 func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
-	s := &Server{
-		exec: qexec.New(eng.Internal(), cfg),
-		mux:  http.NewServeMux(),
-	}
-	s.eng.Store(eng)
+	return NewFromCore(NewCore(eng, cfg))
+}
+
+// NewDynamic builds a server over a dynamic (online-update) index: the
+// /edges and /flush endpoints buffer updates and trigger background
+// rebuilds, and every successful rebuild atomically swaps the serving
+// engine, purges the executor's score cache, and bumps the index
+// generation — queries in flight keep completing on the old engine, and no
+// stale cached score survives the swap.
+func NewDynamic(d *bepi.Dynamic, cfg qexec.Config) *Server {
+	return NewFromCore(NewDynamicCore(d, cfg))
+}
+
+// NewFromCore binds HTTP handlers over an existing serving core — the path
+// used when the core is shared with another transport (e.g. a cluster
+// replica that also answers in-process coordinator traffic). Closing the
+// server closes the core.
+func NewFromCore(c *Core) *Server {
+	s := &Server{core: c, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -79,151 +86,25 @@ func NewWithConfig(eng *bepi.Engine, cfg qexec.Config) *Server {
 	return s
 }
 
-// NewDynamic builds a server over a dynamic (online-update) index: the
-// /edges and /flush endpoints buffer updates and trigger background
-// rebuilds, and every successful rebuild atomically swaps the serving
-// engine, purges the executor's score cache, and bumps the index
-// generation — queries in flight keep completing on the old engine, and no
-// stale cached score survives the swap.
-func NewDynamic(d *bepi.Dynamic, cfg qexec.Config) *Server {
-	s := NewWithConfig(d.Engine(), cfg)
-	s.dyn = d
-	d.OnSwap(func(eng *bepi.Engine, gen uint64, rebuild time.Duration) {
-		s.eng.Store(eng)
-		s.exec.SwapEngine(eng.Internal())
-		s.exec.Observer().Rebuild.Observe(rebuild.Seconds())
-	})
-	return s
-}
-
-// engine snapshots the currently serving engine.
-func (s *Server) engine() *bepi.Engine { return s.eng.Load() }
+// Core exposes the transport-agnostic serving core.
+func (s *Server) Core() *Core { return s.core }
 
 // Dynamic returns the underlying dynamic index, or nil for a static one.
-func (s *Server) Dynamic() *bepi.Dynamic { return s.dyn }
+func (s *Server) Dynamic() *bepi.Dynamic { return s.core.Dynamic() }
 
 // Executor exposes the execution subsystem (for tests and shutdown hooks).
-func (s *Server) Executor() *qexec.Executor { return s.exec }
+func (s *Server) Executor() *qexec.Executor { return s.core.Executor() }
 
 // Close drains and stops the query-execution pool. In-flight requests
 // finish; new ones fail with 503.
-func (s *Server) Close() { s.exec.Close() }
-
-// MetricsResponse is the /metrics payload.
-type MetricsResponse struct {
-	Queries         int64   `json:"queries"`
-	Personalized    int64   `json:"personalized"`
-	Errors          int64   `json:"errors"`
-	AvgQueryMS      float64 `json:"avg_query_ms"`
-	IndexBytes      int64   `json:"index_bytes"`
-	PreprocessMS    float64 `json:"preprocess_ms"`
-	QueriesPerIndex float64 `json:"queries_per_preprocess"`
-
-	// Query-execution subsystem counters.
-	CacheHits     int64   `json:"cache_hits"`
-	CacheMisses   int64   `json:"cache_misses"`
-	CacheEntries  int     `json:"cache_entries"`
-	Coalesced     int64   `json:"coalesced"`
-	Shed          int64   `json:"shed"`
-	Batches       int64   `json:"batches"`
-	Executed      int64   `json:"executed"`
-	BatchSizeHist []int64 `json:"batch_size_hist"` // buckets ≤1, ≤2, ≤4, ≤8, ≤16, +Inf
-	Queued        int     `json:"queued"`
-	HitRate       float64 `json:"hit_rate"`
-	AvgBatchSize  float64 `json:"avg_batch_size"`
-
-	// Observability layer: solver progress, latency quantiles, slow queries.
-	SolverIters  int64          `json:"solver_iters_total"`
-	SlowQueries  int64          `json:"slow_queries"`
-	QueryLatency LatencySummary `json:"query_latency"`
-	QueueWait    LatencySummary `json:"queue_wait"`
-
-	// Dynamic-update subsystem (generation is 1 and the rest zero for a
-	// static index).
-	Generation     uint64         `json:"generation"`
-	EngineSwaps    int64          `json:"engine_swaps"`
-	SolvePanics    int64          `json:"solve_panics"`
-	PendingUpdates int            `json:"pending_updates"`
-	RebuildLatency LatencySummary `json:"rebuild_latency"`
-
-	// Prep is the preprocessing stage/size breakdown (core.PrepStats).
-	Prep PrepMetrics `json:"prep"`
-}
+func (s *Server) Close() { s.core.Close() }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsProm(r) {
 		s.handleMetricsProm(w, r)
 		return
 	}
-	eng := s.engine()
-	q := s.queries.Load() + s.personalized.Load()
-	var avg float64
-	if q > 0 {
-		avg = float64(s.queryNanos.Load()) / float64(q) / 1e6
-	}
-	prepMS := float64(eng.PreprocessTime().Microseconds()) / 1000
-	var ratio float64
-	if prepMS > 0 {
-		ratio = float64(q) * avg / prepMS
-	}
-	xm := s.exec.Metrics()
-	o := s.exec.Observer()
-	st := eng.Internal().PrepStats()
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-	var slow int64
-	if o.SlowLog != nil {
-		slow = o.SlowLog.Count()
-	}
-	var pending int
-	if s.dyn != nil {
-		pending = s.dyn.Pending()
-	}
-	writeJSON(w, http.StatusOK, MetricsResponse{
-		Queries:         s.queries.Load(),
-		Personalized:    s.personalized.Load(),
-		Errors:          s.errors.Load(),
-		AvgQueryMS:      avg,
-		IndexBytes:      eng.MemoryBytes(),
-		PreprocessMS:    prepMS,
-		QueriesPerIndex: ratio,
-		CacheHits:       xm.CacheHits,
-		CacheMisses:     xm.CacheMisses,
-		CacheEntries:    xm.CacheEntries,
-		Coalesced:       xm.Coalesced,
-		Shed:            xm.Shed,
-		Batches:         xm.Batches,
-		Executed:        xm.Executed,
-		BatchSizeHist:   xm.BatchSizeHist[:],
-		Queued:          xm.Queued,
-		HitRate:         xm.HitRate(),
-		AvgBatchSize:    xm.AvgBatchSize(),
-		SolverIters:     o.SolverIters.Load(),
-		SlowQueries:     slow,
-		QueryLatency:    summarize(o.QueryLatency),
-		QueueWait:       summarize(o.QueueWait),
-		Generation:      xm.Generation,
-		EngineSwaps:     xm.EngineSwaps,
-		SolvePanics:     xm.SolvePanics,
-		PendingUpdates:  pending,
-		RebuildLatency:  summarize(o.Rebuild),
-		Prep: PrepMetrics{
-			TotalMS:     ms(st.Total),
-			ReorderMS:   ms(st.Reorder),
-			BuildHMS:    ms(st.BuildH),
-			FactorH11MS: ms(st.FactorH11),
-			SchurMS:     ms(st.Schur),
-			ILUMS:       ms(st.ILU),
-			Nodes:       st.N,
-			Edges:       st.M,
-			Spokes:      st.N1,
-			Hubs:        st.N2,
-			Deadends:    st.N3,
-			Blocks:      st.Blocks,
-			SchurNNZ:    st.SchurNNZ,
-			HubRatio:    st.HubRatio,
-			Workers:     st.Workers,
-		},
-	})
+	writeJSON(w, http.StatusOK, s.core.Metrics())
 }
 
 // ServeHTTP implements http.Handler.
@@ -238,31 +119,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	// Admission-control rejections carry a Retry-After hint so clients (the
+	// cluster coordinator in particular) back off instead of hot-retrying.
+	if ra := RetryAfterSeconds(status); ra > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+	}
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.errors.Add(1)
+	s.core.errors.Add(1)
 	writeError(w, status, format, args...)
 }
 
-// failQuery maps an execution error to the right status: shed load is 429,
-// deadline/shutdown are 503, anything else is a 500.
-func (s *Server) failQuery(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, qexec.ErrOverloaded):
-		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
-	case errors.Is(err, context.DeadlineExceeded):
-		s.fail(w, http.StatusServiceUnavailable, "query deadline exceeded")
-	case errors.Is(err, qexec.ErrClosed), errors.Is(err, context.Canceled):
-		s.fail(w, http.StatusServiceUnavailable, "server shutting down: %v", err)
+// failCore writes an error already counted by the core, mapping it to its
+// status (429 for shed load, 503 for deadline/shutdown, 400 for validation,
+// 500 otherwise) with a Retry-After hint where one applies.
+func (s *Server) failCore(w http.ResponseWriter, err error) {
+	status := StatusOf(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		writeError(w, status, "overloaded: %v", err)
+	case http.StatusServiceUnavailable:
+		if err == context.DeadlineExceeded {
+			writeError(w, status, "query deadline exceeded")
+		} else {
+			writeError(w, status, "server unavailable: %v", err)
+		}
 	default:
-		s.fail(w, http.StatusInternalServerError, "query failed: %v", err)
+		writeError(w, status, "%v", err)
 	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "nodes": s.engine().N()})
+	writeJSON(w, http.StatusOK, s.core.Health())
 }
 
 // StatsResponse is the /stats payload.
@@ -285,22 +175,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	eng := s.engine()
-	st := eng.Internal().PrepStats()
-	opts := eng.Internal().Options()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Nodes:          eng.N(),
-		Spokes:         st.N1,
-		Hubs:           st.N2,
-		Deadends:       st.N3,
-		SchurNNZ:       st.SchurNNZ,
-		IndexBytes:     eng.MemoryBytes(),
-		HubRatio:       st.HubRatio,
-		RestartProb:    opts.C,
-		Tolerance:      opts.Tol,
-		Variant:        opts.Variant.String(),
-		Preconditioned: eng.Internal().Preconditioned(),
-	})
+	writeJSON(w, http.StatusOK, s.core.Stats())
 }
 
 // RankedEntry is one row of a ranking response.
@@ -309,7 +184,8 @@ type RankedEntry struct {
 	Score float64 `json:"score"`
 }
 
-// QueryResponse is the /query payload.
+// QueryResponse is the /query payload. Generation and IndexHash tag the
+// engine the scores were computed under (the coordinator's merge guard).
 type QueryResponse struct {
 	Seed       int           `json:"seed"`
 	Top        []RankedEntry `json:"top,omitempty"`
@@ -317,6 +193,8 @@ type QueryResponse struct {
 	Iterations int           `json:"iterations"`
 	DurationMS float64       `json:"duration_ms"`
 	Cached     bool          `json:"cached,omitempty"`
+	Generation uint64        `json:"generation"`
+	IndexHash  string        `json:"index_hash,omitempty"`
 	Debug      *QueryDebug   `json:"debug,omitempty"`
 }
 
@@ -364,52 +242,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "seed %q is not an integer", seedStr)
 		return
 	}
-	if n := s.engine().N(); seed < 0 || seed >= n {
-		s.fail(w, http.StatusBadRequest, "seed %d out of range [0,%d)", seed, n)
-		return
+	req := QueryRequest{
+		Seed:  seed,
+		Full:  r.URL.Query().Get("full") == "true",
+		Debug: r.URL.Query().Get("debug") == "1",
 	}
-	topk := 10
 	if v := r.URL.Query().Get("topk"); v != "" {
-		topk, err = strconv.Atoi(v)
-		if err != nil || topk < 0 {
+		req.TopK, err = strconv.Atoi(v)
+		if err != nil || req.TopK < 0 {
 			s.fail(w, http.StatusBadRequest, "bad topk %q", v)
 			return
 		}
 	}
-	full := r.URL.Query().Get("full") == "true"
-	start := time.Now()
-	var res qexec.Result
-	var top []core.Ranked
-	if full {
-		res, err = s.exec.Query(r.Context(), seed)
-	} else {
-		// One solve serves both the scores and the ranking; the cached
-		// vector is ranked without touching the engine again. Ranking runs
-		// inside the executor so traces carry the "rank" span.
-		top, res, err = s.exec.TopK(r.Context(), seed, topk)
-	}
+	resp, err := s.core.Query(r.Context(), req)
 	if err != nil {
-		s.failQuery(w, err)
+		s.failCore(w, err)
 		return
-	}
-	s.queries.Add(1)
-	s.queryNanos.Add(time.Since(start).Nanoseconds())
-	resp := QueryResponse{
-		Seed:       seed,
-		Iterations: res.Stats.Iterations,
-		DurationMS: float64(time.Since(start).Microseconds()) / 1000,
-		Cached:     res.Cached,
-	}
-	if r.URL.Query().Get("debug") == "1" {
-		resp.Debug = queryDebug(res)
-	}
-	if full {
-		resp.Scores = res.Scores
-	} else {
-		resp.Top = make([]RankedEntry, len(top))
-		for i, t := range top {
-			resp.Top[i] = RankedEntry{Node: t.Node, Score: t.Score}
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -431,56 +279,19 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	if len(req.Weights) == 0 {
-		s.fail(w, http.StatusBadRequest, "weights must be non-empty")
-		return
-	}
-	q := make([]float64, s.engine().N())
-	var sum float64
-	seeds := map[int]bool{}
+	weights := make(map[int]float64, len(req.Weights))
 	for k, v := range req.Weights {
 		node, err := strconv.Atoi(k)
-		if err != nil || node < 0 || node >= len(q) {
+		if err != nil {
 			s.fail(w, http.StatusBadRequest, "bad node id %q", k)
 			return
 		}
-		if v < 0 {
-			s.fail(w, http.StatusBadRequest, "negative weight for node %s", k)
-			return
-		}
-		q[node] += v
-		sum += v
-		seeds[node] = true
+		weights[node] = v
 	}
-	if sum <= 0 {
-		s.fail(w, http.StatusBadRequest, "weights must sum to a positive value")
-		return
-	}
-	for i := range q {
-		q[i] /= sum
-	}
-	topk := req.TopK
-	if topk <= 0 {
-		topk = 10
-	}
-	start := time.Now()
-	res, err := s.exec.Personalized(r.Context(), q)
+	resp, err := s.core.Personalized(r.Context(), weights, req.TopK)
 	if err != nil {
-		s.failQuery(w, err)
+		s.failCore(w, err)
 		return
 	}
-	s.personalized.Add(1)
-	s.queryNanos.Add(time.Since(start).Nanoseconds())
-	scores := res.Scores
-	top := core.RankTopKFunc(scores, topk, func(node int) bool {
-		return seeds[node] || scores[node] <= 0
-	})
-	entries := make([]RankedEntry, len(top))
-	for i, t := range top {
-		entries[i] = RankedEntry{Node: t.Node, Score: t.Score}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"top":         entries,
-		"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
