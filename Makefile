@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving bench-topk profile
 
 build:
 	$(GO) build ./...
@@ -41,12 +41,15 @@ race:
 # histograms' record-vs-snapshot race test, the level-scheduled ILU
 # triangular solves, the compact CSR32 kernel paths, and the dynamic-index
 # rebuild/swap protocol (root package: concurrent queries, updates, and
-# background flushes over one index), and the cluster tier's routing ring
-# and generation-guarded scatter-gather against concurrent engine swaps.
+# background flushes over one index), the cluster tier's routing ring
+# and generation-guarded scatter-gather against concurrent engine swaps,
+# and the bounded top-k search (solver StopWhen/Probe hooks, set-equality
+# property tests, qexec k-class batching under concurrent load).
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen' \
 		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
-		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/
+		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/ \
+		./internal/solver/
 
 # The CI gate: everything must build, lint clean (vet always; staticcheck/
 # govulncheck when installed), and pass under the race detector, with an
@@ -86,6 +89,14 @@ bench-dynamic:
 bench-serving:
 	$(GO) run ./cmd/bepi-bench serving -size tiny
 	$(GO) run ./cmd/bepi-bench cluster -size tiny
+
+# Smoke-run the exact top-k early-termination experiment: bounded vs
+# full-tolerance ranking across engine variants, with the set-equality
+# column checked on every query. CI runs it so a certificate regression
+# (sets column flipping to MISMATCH) or a latency cliff shows up in the
+# table.
+bench-topk:
+	$(GO) run ./cmd/bepi-bench topk -size tiny
 
 # Capture a CPU profile from a running bepi-serve (start it with
 # -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:

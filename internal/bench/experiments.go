@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"kernels", "Beyond paper: compact CSR32 vs wide CSR, fused vs explicit Schur operator, serial vs leveled ILU sweeps", Kernels},
 		{"dynamic", "Beyond paper: query latency during a dynamic-index rebuild, stop-the-world vs background flush", DynamicRebuild},
 		{"cluster", "Beyond paper: sharded serving — coordinator qps and cache hit rate at 1/2/4 in-process replicas", Cluster},
+		{"topk", "Beyond paper: exact top-k early termination — bound-pruned vs full-tolerance latency per k", TopK},
 	}
 }
 

@@ -37,9 +37,13 @@ type Partial struct {
 	Scores     []float64
 	Iterations int
 	Cached     bool
-	Generation uint64
-	IndexHash  string
-	DurationMS float64
+	// EarlyStopped means the replica's bound-pruned solve stopped on its
+	// certificate: the ranking SET is exact but the scores are within the
+	// certified radius, not at full tolerance. Exact fetches never set it.
+	EarlyStopped bool
+	Generation   uint64
+	IndexHash    string
+	DurationMS   float64
 }
 
 // Tag returns the partial's merge key: the (index hash, generation) pair.
@@ -64,8 +68,11 @@ func (t Tag) String() string { return fmt.Sprintf("%s@g%d", t.Hash, t.Gen) }
 type Backend interface {
 	Name() string
 	// Query answers a single-seed query; full requests the whole score
-	// vector (used by the scatter-gather merge), otherwise a top-k ranking.
-	Query(ctx context.Context, seed, topk int, full bool) (Partial, error)
+	// vector (used by the full-vector scatter-gather merge), otherwise a
+	// top-k ranking — bound-pruned by default, from a full-tolerance solve
+	// when exact is set (the rank merge needs exact scores for its
+	// bit-identical weighted sums).
+	Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error)
 	// Health probes the replica's readiness.
 	Health(ctx context.Context) (Health, error)
 }
@@ -138,8 +145,8 @@ func (b *LocalBackend) Name() string { return b.name }
 func (b *LocalBackend) Core() *server.Core { return b.core }
 
 // Query implements Backend over the core's transport-agnostic query path.
-func (b *LocalBackend) Query(ctx context.Context, seed, topk int, full bool) (Partial, error) {
-	resp, err := b.core.Query(ctx, server.QueryRequest{Seed: seed, TopK: topk, Full: full})
+func (b *LocalBackend) Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error) {
+	resp, err := b.core.Query(ctx, server.QueryRequest{Seed: seed, TopK: topk, Full: full, Exact: exact})
 	if err != nil {
 		status := server.StatusOf(err)
 		return Partial{}, &BackendError{
@@ -150,15 +157,16 @@ func (b *LocalBackend) Query(ctx context.Context, seed, topk int, full bool) (Pa
 		}
 	}
 	return Partial{
-		Seed:       resp.Seed,
-		Replica:    b.name,
-		Top:        resp.Top,
-		Scores:     resp.Scores,
-		Iterations: resp.Iterations,
-		Cached:     resp.Cached,
-		Generation: resp.Generation,
-		IndexHash:  resp.IndexHash,
-		DurationMS: resp.DurationMS,
+		Seed:         resp.Seed,
+		Replica:      b.name,
+		Top:          resp.Top,
+		Scores:       resp.Scores,
+		Iterations:   resp.Iterations,
+		Cached:       resp.Cached,
+		EarlyStopped: resp.EarlyStopped,
+		Generation:   resp.Generation,
+		IndexHash:    resp.IndexHash,
+		DurationMS:   resp.DurationMS,
 	}, nil
 }
 
@@ -233,7 +241,7 @@ func (b *HTTPBackend) get(ctx context.Context, path string, out any) error {
 }
 
 // Query implements Backend over GET /query.
-func (b *HTTPBackend) Query(ctx context.Context, seed, topk int, full bool) (Partial, error) {
+func (b *HTTPBackend) Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error) {
 	v := url.Values{}
 	v.Set("seed", strconv.Itoa(seed))
 	if topk > 0 {
@@ -242,20 +250,24 @@ func (b *HTTPBackend) Query(ctx context.Context, seed, topk int, full bool) (Par
 	if full {
 		v.Set("full", "true")
 	}
+	if exact {
+		v.Set("exact", "true")
+	}
 	var resp server.QueryResponse
 	if err := b.get(ctx, "/query?"+v.Encode(), &resp); err != nil {
 		return Partial{}, err
 	}
 	return Partial{
-		Seed:       resp.Seed,
-		Replica:    b.name,
-		Top:        resp.Top,
-		Scores:     resp.Scores,
-		Iterations: resp.Iterations,
-		Cached:     resp.Cached,
-		Generation: resp.Generation,
-		IndexHash:  resp.IndexHash,
-		DurationMS: resp.DurationMS,
+		Seed:         resp.Seed,
+		Replica:      b.name,
+		Top:          resp.Top,
+		Scores:       resp.Scores,
+		Iterations:   resp.Iterations,
+		Cached:       resp.Cached,
+		EarlyStopped: resp.EarlyStopped,
+		Generation:   resp.Generation,
+		IndexHash:    resp.IndexHash,
+		DurationMS:   resp.DurationMS,
 	}, nil
 }
 

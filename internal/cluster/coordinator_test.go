@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bepi/internal/server"
 )
 
 // fakeBackend is a scriptable replica for coordinator tests.
@@ -51,7 +53,7 @@ func (f *fakeBackend) queries() int {
 	return f.queried
 }
 
-func (f *fakeBackend) Query(ctx context.Context, seed, topk int, full bool) (Partial, error) {
+func (f *fakeBackend) Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.queried++
@@ -66,11 +68,20 @@ func (f *fakeBackend) Query(ctx context.Context, seed, topk int, full bool) (Par
 		f.staleLeft--
 		p.Generation, p.IndexHash = f.staleTag.Gen, f.staleTag.Hash
 	}
+	// A recognizable per-seed answer so merge results are checkable:
+	// 0.5 at the seed, 0.25 at its ring neighbour, zero elsewhere.
 	if full {
 		p.Scores = make([]float64, f.n)
-		// A recognizable per-seed vector so merge results are checkable.
 		p.Scores[seed%f.n] = 0.5
 		p.Scores[(seed+1)%f.n] = 0.25
+	} else {
+		p.Top = []server.RankedEntry{
+			{Node: seed % f.n, Score: 0.5},
+			{Node: (seed + 1) % f.n, Score: 0.25},
+		}
+		if topk > 0 && topk < len(p.Top) {
+			p.Top = p.Top[:topk]
+		}
 	}
 	return p, nil
 }

@@ -18,6 +18,8 @@ import (
 // Endpoints:
 //
 //	GET  /query?seed=N&topk=K             routed single-seed query
+//	     (&full=true for the score vector, &exact=true to force a
+//	     full-tolerance solve instead of the bound-pruned top-k path)
 //	POST /batch {"seeds":[...],"topk":K}  scatter-gather batch (degraded
 //	                                      responses report failed shards)
 //	POST /personalized {"weights":{...}}  linearity-decomposed PPR merge
@@ -96,7 +98,9 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	p, err := h.coord.Query(r.Context(), seed, topk, r.URL.Query().Get("full") == "true")
+	p, err := h.coord.query(r.Context(), seed, topk,
+		r.URL.Query().Get("full") == "true",
+		r.URL.Query().Get("exact") == "true")
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -188,6 +192,9 @@ type PersonalizedResponse struct {
 	Replicas   []string             `json:"replicas"`
 	Refetched  int                  `json:"refetched,omitempty"`
 	CacheHits  int                  `json:"cache_hits"`
+	// Mode is how the merge was assembled: "rank", "rank-escalated", or
+	// "full". All modes return identical rankings.
+	Mode string `json:"mode,omitempty"`
 }
 
 func (h *Handler) handlePersonalized(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +228,7 @@ func (h *Handler) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		Replicas:   m.Replicas,
 		Refetched:  m.Refetched,
 		CacheHits:  m.CacheHits,
+		Mode:       m.Mode,
 	})
 }
 
@@ -257,6 +265,9 @@ func (h *Handler) handleReplicas(w http.ResponseWriter, r *http.Request) {
 type MetricsResponse struct {
 	Batches          int64           `json:"batches"`
 	Merges           int64           `json:"merges"`
+	RankMerges       int64           `json:"rank_merges"`
+	RankEscalations  int64           `json:"rank_escalations"`
+	FullFallbacks    int64           `json:"full_fallbacks"`
 	MixRefused       int64           `json:"generation_mix_refused"`
 	DegradedBatches  int64           `json:"degraded_batches"`
 	Replicas         []ReplicaStatus `json:"replicas"`
@@ -268,6 +279,9 @@ func (h *Handler) metrics() MetricsResponse {
 	return MetricsResponse{
 		Batches:          h.coord.batches.Load(),
 		Merges:           h.coord.merges.Load(),
+		RankMerges:       h.coord.rankMerges.Load(),
+		RankEscalations:  h.coord.rankEscalations.Load(),
+		FullFallbacks:    h.coord.fullFallbacks.Load(),
 		MixRefused:       h.coord.mixRefused.Load(),
 		DegradedBatches:  h.coord.degraded.Load(),
 		Replicas:         h.coord.Replicas(),
@@ -291,6 +305,12 @@ func (h *Handler) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	m := h.metrics()
 	p.Counter("bepi_cluster_batches_total", "Scatter-gather batch queries.", float64(m.Batches))
 	p.Counter("bepi_cluster_merges_total", "Personalized merges completed.", float64(m.Merges))
+	p.Counter("bepi_cluster_rank_merges_total",
+		"Personalized merges served from per-shard top-k lists.", float64(m.RankMerges))
+	p.Counter("bepi_cluster_rank_escalations_total",
+		"Rank merges that re-fetched wider candidate lists.", float64(m.RankEscalations))
+	p.Counter("bepi_cluster_full_fallbacks_total",
+		"Personalized merges that fell back to full score vectors.", float64(m.FullFallbacks))
 	p.Counter("bepi_cluster_generation_mix_refused_total",
 		"Merges refused because partials spanned index generations.", float64(m.MixRefused))
 	p.Counter("bepi_cluster_degraded_batches_total", "Batches with at least one failed seed.", float64(m.DegradedBatches))

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"bepi"
+	"bepi/internal/qexec"
+	"bepi/internal/server"
+)
+
+// rankMergeBackends builds real LocalBackend replicas over one skewed RMAT
+// graph, the setting the rank merge is designed for.
+func rankMergeBackends(t *testing.T, replicas int) []Backend {
+	t.Helper()
+	g := bepi.RMAT(8, 6, 5)
+	backends := make([]Backend, replicas)
+	for i := 0; i < replicas; i++ {
+		eng, err := bepi.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := server.NewCore(eng, qexec.Config{})
+		t.Cleanup(core.Close)
+		backends[i] = NewLocalBackend(fmt.Sprintf("replica-%d", i), core)
+	}
+	return backends
+}
+
+// TestPersonalizedRankMergeMatchesFull is the exactness regression for the
+// list-based merge: for every topk, the rank merge must return the
+// bit-identical ranking (nodes AND scores) of a coordinator forced onto
+// the full-vector merge over the same replicas.
+func TestPersonalizedRankMergeMatchesFull(t *testing.T) {
+	backends := rankMergeBackends(t, 3)
+	rank, err := New(backends, Config{HealthInterval: -1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rank.Close()
+	fullCfg := Config{HealthInterval: -1, RetryBackoff: time.Millisecond, FullVectorMerge: true}
+	full, err := New(backends, fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+
+	weights := map[int]float64{3: 1, 17: 2, 40: 0.5}
+	for _, topk := range []int{1, 5, 10} {
+		got, err := rank.Personalized(context.Background(), weights, topk)
+		if err != nil {
+			t.Fatalf("topk %d rank merge: %v", topk, err)
+		}
+		want, err := full.Personalized(context.Background(), weights, topk)
+		if err != nil {
+			t.Fatalf("topk %d full merge: %v", topk, err)
+		}
+		if want.Mode != "full" {
+			t.Fatalf("forced coordinator merged in mode %q, want full", want.Mode)
+		}
+		if len(got.Top) != len(want.Top) {
+			t.Fatalf("topk %d: rank merge %d entries, full merge %d", topk, len(got.Top), len(want.Top))
+		}
+		for i := range got.Top {
+			// Bit-identical: same node, same float64, no tolerance.
+			if got.Top[i] != want.Top[i] {
+				t.Fatalf("topk %d entry %d: rank %+v, full %+v (mode %q)",
+					topk, i, got.Top[i], want.Top[i], got.Mode)
+			}
+		}
+	}
+	// The point of the exercise: the default coordinator must actually be
+	// taking the list path on this workload, not falling back every time.
+	if rank.rankMerges.Load() == 0 {
+		t.Fatalf("no rank merges recorded (escalations=%d fallbacks=%d)",
+			rank.rankEscalations.Load(), rank.fullFallbacks.Load())
+	}
+	if full.rankMerges.Load() != 0 {
+		t.Fatal("FullVectorMerge coordinator used the rank path")
+	}
+}
+
+// flatBackend answers every node with the same score — the pathological
+// all-ties workload where the rank certificate must refuse (ties are never
+// certified from lists) and the coordinator must fall back to the
+// full-vector merge instead of guessing.
+type flatBackend struct {
+	name string
+	n    int
+}
+
+func (f *flatBackend) Name() string { return f.name }
+
+func (f *flatBackend) Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error) {
+	p := Partial{Seed: seed, Replica: f.name, Generation: 1, IndexHash: "flat"}
+	if full {
+		p.Scores = make([]float64, f.n)
+		for i := range p.Scores {
+			p.Scores[i] = 0.1
+		}
+		return p, nil
+	}
+	k := topk
+	if k <= 0 || k > f.n {
+		k = f.n
+	}
+	p.Top = make([]server.RankedEntry, k)
+	for i := 0; i < k; i++ {
+		p.Top[i] = server.RankedEntry{Node: i, Score: 0.1}
+	}
+	return p, nil
+}
+
+func (f *flatBackend) Health(ctx context.Context) (Health, error) {
+	return Health{Nodes: f.n, Generation: 1, IndexHash: "flat"}, nil
+}
+
+func TestPersonalizedRankMergeFallsBackOnTies(t *testing.T) {
+	// n exceeds the escalated width for topk=16 (4·16=64, then 256)? No —
+	// n sits between the first width (64: truncated lists, tail bounds tie
+	// with the boundary) and the escalated width (256: complete lists, but
+	// the k-th and (k+1)-th scores still tie exactly), so both attempts
+	// must refuse and the merge must land on the full path.
+	c, err := New([]Backend{&flatBackend{name: "r0", n: 100}},
+		Config{HealthInterval: -1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m, err := c.Personalized(context.Background(), map[int]float64{0: 1, 1: 1}, 16)
+	if err != nil {
+		t.Fatalf("Personalized: %v", err)
+	}
+	if m.Mode != "full" {
+		t.Fatalf("mode %q, want full fallback on an all-ties workload", m.Mode)
+	}
+	if len(m.Top) != 16 {
+		t.Fatalf("top has %d entries, want 16", len(m.Top))
+	}
+	// Deterministic tie-break: ascending node ids, seeds 0 and 1 excluded.
+	for i, e := range m.Top {
+		if e.Node != i+2 {
+			t.Fatalf("entry %d is node %d, want %d (tie-break by id, seeds excluded)", i, e.Node, i+2)
+		}
+	}
+	if c.rankEscalations.Load() != 1 || c.fullFallbacks.Load() != 1 {
+		t.Fatalf("escalations=%d fallbacks=%d, want 1/1",
+			c.rankEscalations.Load(), c.fullFallbacks.Load())
+	}
+	if c.rankMerges.Load() != 0 {
+		t.Fatal("an all-ties merge must not be served from lists")
+	}
+}

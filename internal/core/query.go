@@ -41,11 +41,20 @@ func (e *Engine) solveSchur(qt2 []float64, cb func(int, []float64)) ([]float64, 
 // solution points into it and is only valid until the next solve on that
 // workspace.
 func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, op solver.Operator, ws *solver.Workspace, cb func(int, []float64)) ([]float64, solver.Stats, error) {
+	op, opts := e.schurSolveOptions(ctx, op, ws)
+	opts.Callback = cb
+	return e.runSchurSolve(op, qt2, opts)
+}
+
+// schurSolveOptions builds the solver options every Schur solve shares —
+// tolerance, iteration budget, preconditioner, telemetry hooks — and wraps
+// the operator/preconditioner with the kernel-timing shims when installed.
+// Callers add their per-solve hooks (Callback, Probe, StopWhen) on top.
+func (e *Engine) schurSolveOptions(ctx context.Context, op solver.Operator, ws *solver.Workspace) (solver.Operator, solver.GMRESOptions) {
 	opts := solver.GMRESOptions{
 		Tol:         e.opts.Tol,
 		MaxIter:     e.opts.MaxIter,
 		Restart:     e.opts.GMRESRestart,
-		Callback:    cb,
 		OnIteration: e.iterHook,
 		Ctx:         ctx,
 		Work:        ws,
@@ -60,6 +69,11 @@ func (e *Engine) solveSchurCtx(ctx context.Context, qt2 []float64, op solver.Ope
 				bytes: e.ilu.MemoryBytes() + int64(16*e.ord.N2)}
 		}
 	}
+	return op, opts
+}
+
+// runSchurSolve dispatches the configured iterative method.
+func (e *Engine) runSchurSolve(op solver.Operator, qt2 []float64, opts solver.GMRESOptions) ([]float64, solver.Stats, error) {
 	if e.opts.Solver == SolverBiCGSTAB {
 		return solver.BiCGSTAB(op, qt2, opts)
 	}
@@ -162,14 +176,20 @@ func RankTopK(scores []float64, k int, exclude int) []Ranked {
 	return RankTopKFunc(scores, k, func(node int) bool { return node == exclude })
 }
 
-// outranks reports whether a ranks strictly above b: higher score wins,
-// ties break on lower node id.
-func outranks(a, b Ranked) bool {
+// Outranks reports whether a ranks strictly above b: higher score wins,
+// ties break on lower node id. It is the total order every ranking in the
+// system uses — Engine.TopK, the bounded top-k search, and the cluster
+// tier's merge — so equal-score ties resolve identically on every replica
+// and merged rankings are independent of arrival order.
+func (a Ranked) Outranks(b Ranked) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
 	return a.Node < b.Node
 }
+
+// outranks is the free-function spelling the heap code below uses.
+func outranks(a, b Ranked) bool { return a.Outranks(b) }
 
 // RankTopKFunc returns the k highest-scoring nodes among those not skipped,
 // in descending order (ties break on lower node id). It maintains a bounded

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"bepi/internal/gen"
+)
+
+// assertSameTopKSet fails unless bounded and full name the same node set.
+// Order must match too: both paths rank with the same (score desc, id asc)
+// total order, and the ordering among the exact set is part of the
+// contract for full-tolerance results; for early-stopped results only the
+// set is guaranteed, so order is checked just when requested.
+func assertSameTopKSet(t *testing.T, tag string, full, bounded []Ranked, checkOrder bool) {
+	t.Helper()
+	if len(full) != len(bounded) {
+		t.Fatalf("%s: size mismatch: full %d, bounded %d", tag, len(full), len(bounded))
+	}
+	fullSet := make(map[int]bool, len(full))
+	for _, r := range full {
+		fullSet[r.Node] = true
+	}
+	for _, r := range bounded {
+		if !fullSet[r.Node] {
+			t.Fatalf("%s: bounded returned node %d not in the full solve's top-k %v vs %v",
+				tag, r.Node, bounded, full)
+		}
+	}
+	if checkOrder {
+		for i := range full {
+			if full[i].Node != bounded[i].Node {
+				t.Fatalf("%s: order mismatch at %d: full %v, bounded %v", tag, i, full, bounded)
+			}
+		}
+	}
+}
+
+// TestTopKBoundedEquivalence is the exactness property test: on a skewed
+// RMAT graph and on pathological near-uniform graphs (regular ring
+// lattices, where scores tie and the bound can never separate them), the
+// bounded search must return the identical top-k node set as Engine.TopK
+// for every k in {1, 10, 100}, across seeds.
+func TestTopKBoundedEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Engine
+		seeds []int
+	}{
+		{
+			name: "skewed-rmat",
+			build: func() *Engine {
+				g := gen.RMAT(gen.DefaultRMAT(9, 8, 42))
+				e, err := Preprocess(g, Options{Variant: VariantFull, HubRatio: 0.2})
+				if err != nil {
+					t.Fatalf("Preprocess: %v", err)
+				}
+				return e
+			},
+			seeds: []int{0, 7, 123, 400},
+		},
+		{
+			name: "near-uniform-ring",
+			build: func() *Engine {
+				// beta=0 Watts-Strogatz is a regular ring lattice: every
+				// node is symmetric, scores are near-uniform with massive
+				// tie classes — the adversarial case for a gap test.
+				g := gen.WattsStrogatz(300, 6, 0, 7)
+				e, err := Preprocess(g, Options{Variant: VariantFull, HubRatio: 0.2})
+				if err != nil {
+					t.Fatalf("Preprocess: %v", err)
+				}
+				return e
+			},
+			seeds: []int{0, 149},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.build()
+			if err := e.CalibrateBound(); err != nil {
+				t.Fatalf("CalibrateBound: %v", err)
+			}
+			sawEarlyStop := false
+			for _, seed := range tc.seeds {
+				for _, k := range []int{1, 10, 100} {
+					full, err := e.TopK(seed, k)
+					if err != nil {
+						t.Fatalf("TopK(%d,%d): %v", seed, k, err)
+					}
+					bounded, stats, err := e.TopKBounded(seed, k)
+					if err != nil {
+						t.Fatalf("TopKBounded(%d,%d): %v", seed, k, err)
+					}
+					tag := fmt.Sprintf("seed %d k %d (early=%v checks=%d bound=%.3g gap=%.3g)",
+						seed, k, stats.EarlyStopped, stats.BoundChecks, stats.Bound, stats.Gap)
+					assertSameTopKSet(t, tag, full, bounded, !stats.EarlyStopped)
+					if !stats.EarlyStopped {
+						// A fallback solve runs the identical arithmetic as
+						// the full path: scores must match bitwise.
+						for i := range full {
+							if math.Float64bits(full[i].Score) != math.Float64bits(bounded[i].Score) {
+								t.Fatalf("%s: fallback score differs at %d: %v vs %v",
+									tag, i, full[i], bounded[i])
+							}
+						}
+					}
+					sawEarlyStop = sawEarlyStop || stats.EarlyStopped
+				}
+			}
+			if tc.name == "skewed-rmat" && !sawEarlyStop {
+				t.Fatalf("bounded search never early-stopped on the skewed graph — the fast path is dead")
+			}
+		})
+	}
+}
+
+// TestTopKBoundedBatchMixedK drives the batch entry point directly with
+// heterogeneous ks — the shape qexec's k-class batches take.
+func TestTopKBoundedBatchMixedK(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 17))
+	e, err := Preprocess(g, Options{Variant: VariantFull, HubRatio: 0.2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	seeds := []int{1, 2, 3, 50}
+	ks := []int{1, 10, 100, 5}
+	qs := make([][]float64, len(seeds))
+	for i, s := range seeds {
+		q := make([]float64, e.N())
+		q[s] = 1
+		qs[i] = q
+	}
+	ws := e.NewWorkspace()
+	tops, res, stats, errs := e.TopKBoundedBatch(nil, qs, seeds, ks, ws)
+	for i, s := range seeds {
+		if errs[i] != nil {
+			t.Fatalf("slot %d: %v", i, errs[i])
+		}
+		if len(res[i]) != e.N() {
+			t.Fatalf("slot %d: score vector length %d", i, len(res[i]))
+		}
+		full, err := e.TopK(s, ks[i])
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		assertSameTopKSet(t, fmt.Sprintf("slot %d", i), full, tops[i], !stats[i].EarlyStopped)
+	}
+	// Shape-mismatch batches must fail positionally, not panic.
+	_, _, _, errs = e.TopKBoundedBatch(nil, qs, seeds[:2], ks, ws)
+	for i := range errs {
+		if errs[i] == nil {
+			t.Fatalf("slot %d: expected shape-mismatch error", i)
+		}
+	}
+}
+
+// TestTopKBoundedParallelPool runs bounded queries concurrently on a
+// pooled engine — the -race configuration the serving path uses, with the
+// lazily calibrated bound factor racing across goroutines on purpose.
+func TestTopKBoundedParallelPool(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 23))
+	e, err := Preprocess(g, Options{Variant: VariantFull, HubRatio: 0.2, Parallelism: 4})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				seed := (w*31 + i*7) % e.N()
+				k := []int{1, 10, 100}[i%3]
+				full, err := e.TopK(seed, k)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				bounded, _, err := e.TopKBounded(seed, k)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(full) != len(bounded) {
+					errCh <- fmt.Errorf("seed %d k %d: %d vs %d results", seed, k, len(full), len(bounded))
+					return
+				}
+				set := map[int]bool{}
+				for _, r := range full {
+					set[r.Node] = true
+				}
+				for _, r := range bounded {
+					if !set[r.Node] {
+						errCh <- fmt.Errorf("seed %d k %d: node %d not in full top-k", seed, k, r.Node)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestRankTopKTieBreak pins the deterministic tie order: equal scores
+// rank by ascending node id, regardless of heap internals or input size.
+func TestRankTopKTieBreak(t *testing.T) {
+	scores := []float64{0.5, 0.9, 0.5, 0.9, 0.5, 0.1, 0.9}
+	got := RankTopK(scores, 5, -1)
+	want := []Ranked{{1, 0.9}, {3, 0.9}, {6, 0.9}, {0, 0.5}, {2, 0.5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The exported comparator must agree with the ranking order.
+	for i := 0; i+1 < len(got); i++ {
+		if !got[i].Outranks(got[i+1]) {
+			t.Fatalf("Outranks disagrees with ranking at %d: %v vs %v", i, got[i], got[i+1])
+		}
+		if got[i+1].Outranks(got[i]) {
+			t.Fatalf("Outranks not antisymmetric at %d", i)
+		}
+	}
+}
+
+// TestTopKBoundedStats sanity-checks the reported stats: an early stop
+// must carry a positive certified bound, a larger gap, and a savings
+// estimate; iteration counts must undercut the full solve.
+func TestTopKBoundedStats(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 99))
+	e, err := Preprocess(g, Options{Variant: VariantFull, HubRatio: 0.2})
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	if err := e.CalibrateBound(); err != nil {
+		t.Fatalf("CalibrateBound: %v", err)
+	}
+	var early *TopKStats
+	var earlySeed int
+	for seed := 0; seed < 32 && early == nil; seed++ {
+		_, stats, err := e.TopKBounded(seed, 10)
+		if err != nil {
+			t.Fatalf("TopKBounded(%d): %v", seed, err)
+		}
+		if stats.EarlyStopped {
+			s := stats
+			early, earlySeed = &s, seed
+		}
+	}
+	if early == nil {
+		t.Fatalf("no early stop across 32 seeds on a skewed graph")
+	}
+	if early.Bound <= 0 || early.Gap <= 2*early.Bound {
+		t.Fatalf("early stop without a valid certificate: bound=%v gap=%v", early.Bound, early.Gap)
+	}
+	if early.BoundChecks <= 0 {
+		t.Fatalf("early stop with zero bound checks")
+	}
+	if early.SavedIters <= 0 {
+		t.Fatalf("early stop reports no saved iterations")
+	}
+	_, fullStats, qerr := e.Query(earlySeed)
+	if qerr != nil {
+		t.Fatalf("Query: %v", qerr)
+	}
+	if early.Iterations >= fullStats.Iterations {
+		t.Fatalf("early stop used %d iterations, full solve %d", early.Iterations, fullStats.Iterations)
+	}
+}

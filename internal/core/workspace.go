@@ -28,6 +28,10 @@ type Workspace struct {
 	// concurrent workspaces never share one and repeated solves allocate
 	// nothing. Built lazily by Engine.schurOperator.
 	schurOp *SchurOperator
+	// tkScores (length n, permuted order) is the bounded top-k search's
+	// scratch: the mid-solve score snapshot the gap checks rank. One buffer
+	// serves a whole batch — the per-item Schur solves run sequentially.
+	tkScores []float64
 }
 
 // NewWorkspace returns an empty workspace for the engine. Buffers are
@@ -46,6 +50,13 @@ func (w *Workspace) grow(k int) {
 		w.r2s = append(w.r2s, make([]float64, n2))
 		w.r3s = append(w.r3s, make([]float64, n3))
 		w.tmps = append(w.tmps, make([]float64, n3))
+	}
+}
+
+// growTopK sizes the bounded top-k scratch buffer.
+func (w *Workspace) growTopK() {
+	if len(w.tkScores) < w.e.n {
+		w.tkScores = make([]float64, w.e.n)
 	}
 }
 
@@ -95,31 +106,76 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 		ws = e.NewWorkspace()
 	}
 	ws.grow(K)
-	n1, n2 := e.ord.N1, e.ord.N2
-	l := n1 + n2
-	c := e.opts.C
 
-	ctxFor := func(k int) context.Context {
-		if ctxs == nil || ctxs[k] == nil {
-			return context.Background()
+	active := e.admitBatch(ctxs, qs, errs)
+	permuteDur := e.permutePhase(ws, qs, active)
+	forwardDur := e.forwardPhase(ws, active)
+
+	// Solve S·r2 = q̃2 per query (line 4) — iterative, so per-query
+	// contexts apply here; the Krylov workspace is shared sequentially.
+	op := e.schurOperator(ws)
+	solved := make([]int, 0, len(active))
+	for _, k := range active {
+		tSolve := time.Now()
+		r2, st, err := e.solveSchurCtx(batchCtx(ctxs, k), ws.qt2s[k], op, &ws.slv, nil)
+		stats[k].Iterations, stats[k].Residual = st.Iterations, st.Residual
+		stats[k].Stages.Solve = time.Since(tSolve)
+		if err != nil {
+			errs[k] = fmt.Errorf("core: solving Schur system: %w", err)
+			continue
 		}
-		return ctxs[k]
+		// r2 points into the shared solver workspace; the next solve
+		// clobbers it, so park it in this slot's own buffer.
+		copy(ws.r2s[k], r2)
+		solved = append(solved, k)
 	}
-	active := make([]int, 0, K)
+	active = solved
+
+	tPhase := time.Now()
+	e.backPhase(ws, active, res)
+	backDur := time.Since(tPhase)
+	elapsed := time.Since(start)
+	for k := range stats {
+		stats[k].Duration = elapsed
+		stats[k].Stages.Permute = permuteDur
+		stats[k].Stages.Forward = forwardDur
+		stats[k].Stages.Back = backDur
+	}
+	return res, stats, errs
+}
+
+// batchCtx resolves the k-th per-query context of a batch (nil-tolerant).
+func batchCtx(ctxs []context.Context, k int) context.Context {
+	if ctxs == nil || ctxs[k] == nil {
+		return context.Background()
+	}
+	return ctxs[k]
+}
+
+// admitBatch validates query lengths and contexts, recording rejections in
+// errs and returning the slot indices that proceed.
+func (e *Engine) admitBatch(ctxs []context.Context, qs [][]float64, errs []error) []int {
+	active := make([]int, 0, len(qs))
 	for k, q := range qs {
 		if len(q) != e.n {
 			errs[k] = fmt.Errorf("core: query vector length %d want %d", len(q), e.n)
 			continue
 		}
-		if err := ctxFor(k).Err(); err != nil {
+		if err := batchCtx(ctxs, k).Err(); err != nil {
 			errs[k] = err
 			continue
 		}
 		active = append(active, k)
 	}
+	return active
+}
 
-	// Permute each q into the reordered space and form t1 = c·q1.
+// permutePhase scatters each active query into the reordered space and
+// forms t1 = c·q1, the setup shared by every block-elimination pass.
+func (e *Engine) permutePhase(ws *Workspace, qs [][]float64, active []int) time.Duration {
 	tPhase := time.Now()
+	n1 := e.ord.N1
+	c := e.opts.C
 	for _, k := range active {
 		qp := ws.qps[k]
 		for i := range qp {
@@ -135,13 +191,18 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 			t1[i] = c * v
 		}
 	}
-	permuteDur := time.Since(tPhase)
+	return time.Since(tPhase)
+}
 
-	// q̃2 = c·q2 − H21·(H11⁻¹·(c·q1))   (Algorithm 4, line 3), batched:
-	// one block-diagonal substitution sweep and one H21 traversal serve
-	// every query in the batch; blocks (and SpMV rows) run in parallel
-	// over the engine pool.
-	tPhase = time.Now()
+// forwardPhase computes q̃2 = c·q2 − H21·(H11⁻¹·(c·q1)) for the active
+// slots (Algorithm 4, line 3), batched: one block-diagonal substitution
+// sweep and one H21 traversal serve every query in the batch; blocks (and
+// SpMV rows) run in parallel over the engine pool.
+func (e *Engine) forwardPhase(ws *Workspace, active []int) time.Duration {
+	tPhase := time.Now()
+	n1, n2 := e.ord.N1, e.ord.N2
+	l := n1 + n2
+	c := e.opts.C
 	e.h11LU.SolveBatchPool(ws.gather(0, ws.t1s, active), e.pool)
 	e.h21.MulVecBatch(ws.gather(1, ws.qt2s, active), ws.gather(0, ws.t1s, active))
 	for _, k := range active {
@@ -151,28 +212,17 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 			qt2[i] = c*q2[i] - qt2[i]
 		}
 	}
-	forwardDur := time.Since(tPhase)
+	return time.Since(tPhase)
+}
 
-	// Solve S·r2 = q̃2 per query (line 4) — iterative, so per-query
-	// contexts apply here; the Krylov workspace is shared sequentially.
-	op := e.schurOperator(ws)
-	solved := make([]int, 0, len(active))
-	for _, k := range active {
-		tSolve := time.Now()
-		r2, st, err := e.solveSchurCtx(ctxFor(k), ws.qt2s[k], op, &ws.slv, nil)
-		stats[k].Iterations, stats[k].Residual = st.Iterations, st.Residual
-		stats[k].Stages.Solve = time.Since(tSolve)
-		if err != nil {
-			errs[k] = fmt.Errorf("core: solving Schur system: %w", err)
-			continue
-		}
-		// r2 points into the shared solver workspace; the next solve
-		// clobbers it, so park it in this slot's own buffer.
-		copy(ws.r2s[k], r2)
-		solved = append(solved, k)
-	}
-	active = solved
-	tPhase = time.Now()
+// backPhase reconstructs r1 and r3 from each active slot's solved r2
+// (already parked in ws.r2s) and un-permutes the concatenated result into
+// a fresh original-id vector per slot (Algorithm 4, lines 5-7). The result
+// vectors are the one allocation that must escape.
+func (e *Engine) backPhase(ws *Workspace, active []int, res [][]float64) {
+	n1, n2 := e.ord.N1, e.ord.N2
+	l := n1 + n2
+	c := e.opts.C
 
 	// r1 = H11⁻¹·(c·q1 − H12·r2)   (line 5), batched.
 	e.h12.MulVecBatch(ws.gather(2, ws.r1s, active), ws.gather(3, ws.r2s, active))
@@ -195,31 +245,31 @@ func (e *Engine) QueryVectorBatch(ctxs []context.Context, qs [][]float64, ws *Wo
 		}
 	}
 
-	// Concatenate and un-permute back to original ids (line 7). The result
-	// vectors are the one allocation that must escape.
+	// Concatenate and un-permute back to original ids (line 7).
 	for _, k := range active {
-		r := make([]float64, e.n)
-		r1, r2, r3 := ws.r1s[k], ws.r2s[k], ws.r3s[k]
-		for old := 0; old < e.n; old++ {
-			nw := e.ord.Perm[old]
-			switch {
-			case nw < n1:
-				r[old] = r1[nw]
-			case nw < l:
-				r[old] = r2[nw-n1]
-			default:
-				r[old] = r3[nw-l]
-			}
+		res[k] = e.unpermuteSlot(ws, k)
+	}
+}
+
+// unpermuteSlot concatenates a slot's r1/r2/r3 blocks into a fresh
+// original-id vector — the final step of backPhase on its own, for callers
+// whose r1/r3 are already current (the bounded top-k search reuses the
+// reconstruction its certifying gap check just performed).
+func (e *Engine) unpermuteSlot(ws *Workspace, k int) []float64 {
+	n1 := e.ord.N1
+	l := n1 + e.ord.N2
+	r := make([]float64, e.n)
+	r1, r2, r3 := ws.r1s[k], ws.r2s[k], ws.r3s[k]
+	for old := 0; old < e.n; old++ {
+		nw := e.ord.Perm[old]
+		switch {
+		case nw < n1:
+			r[old] = r1[nw]
+		case nw < l:
+			r[old] = r2[nw-n1]
+		default:
+			r[old] = r3[nw-l]
 		}
-		res[k] = r
 	}
-	backDur := time.Since(tPhase)
-	elapsed := time.Since(start)
-	for k := range stats {
-		stats[k].Duration = elapsed
-		stats[k].Stages.Permute = permuteDur
-		stats[k].Stages.Forward = forwardDur
-		stats[k].Stages.Back = backDur
-	}
-	return res, stats, errs
+	return r
 }

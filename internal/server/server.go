@@ -23,7 +23,8 @@
 //	                                       text/plain or ?format=prometheus)
 //	GET  /metrics.prom                     always Prometheus text format
 //	GET  /debug/traces?n=K                 recent per-query stage traces
-//	GET  /query?seed=N&topk=K              top-K ranking for a seed
+//	GET  /query?seed=N&topk=K              top-K ranking for a seed (bound-pruned)
+//	GET  /query?seed=N&topk=K&exact=true   same set from a full-tolerance solve
 //	GET  /query?seed=N&full=true           the full score vector
 //	GET  /query?seed=N&debug=1             adds solver/stage detail
 //	POST /personalized {"weights":{...}}   multi-seed PPR ranking
@@ -193,9 +194,13 @@ type QueryResponse struct {
 	Iterations int           `json:"iterations"`
 	DurationMS float64       `json:"duration_ms"`
 	Cached     bool          `json:"cached,omitempty"`
-	Generation uint64        `json:"generation"`
-	IndexHash  string        `json:"index_hash,omitempty"`
-	Debug      *QueryDebug   `json:"debug,omitempty"`
+	// EarlyStopped means the ranking came from a bound-certified
+	// early-stopped solve: the top-k SET is exact, the scores shown are
+	// within the certified error radius of the true values.
+	EarlyStopped bool        `json:"early_stopped,omitempty"`
+	Generation   uint64      `json:"generation"`
+	IndexHash    string      `json:"index_hash,omitempty"`
+	Debug        *QueryDebug `json:"debug,omitempty"`
 }
 
 // QueryDebug is the per-query solver and stage detail returned when the
@@ -245,6 +250,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req := QueryRequest{
 		Seed:  seed,
 		Full:  r.URL.Query().Get("full") == "true",
+		Exact: r.URL.Query().Get("exact") == "true",
 		Debug: r.URL.Query().Get("debug") == "1",
 	}
 	if v := r.URL.Query().Get("topk"); v != "" {

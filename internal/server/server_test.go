@@ -90,6 +90,43 @@ func TestQueryTopK(t *testing.T) {
 	}
 }
 
+// TestQueryExactParam checks the ?exact=true escape hatch: the ranking
+// must name the same node set as the default bound-pruned path, and an
+// exact response is never marked early-stopped.
+func TestQueryExactParam(t *testing.T) {
+	s, _ := testServer(t)
+	rec, exact := get(t, s, "/query?seed=6&topk=8&exact=true")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, exact)
+	}
+	if exact["early_stopped"] == true {
+		t.Fatalf("exact query marked early_stopped: %v", exact)
+	}
+	set := map[float64]bool{}
+	for _, e := range exact["top"].([]any) {
+		set[e.(map[string]any)["node"].(float64)] = true
+	}
+	// Fresh server so the bounded query can't just rank the cached vector.
+	s2, _ := testServer(t)
+	_, bounded := get(t, s2, "/query?seed=6&topk=8")
+	top := bounded["top"].([]any)
+	if len(top) != len(set) {
+		t.Fatalf("bounded top has %d entries, exact %d", len(top), len(set))
+	}
+	for _, e := range top {
+		if node := e.(map[string]any)["node"].(float64); !set[node] {
+			t.Fatalf("bounded top-k node %v not in exact set %v", node, exact["top"])
+		}
+	}
+	_, metrics := get(t, s2, "/metrics")
+	if _, ok := metrics["topk_solves"]; !ok {
+		t.Fatalf("metrics lack topk_solves: %v", metrics)
+	}
+	if _, ok := metrics["topk_iters_saved"]; !ok {
+		t.Fatalf("metrics lack topk_iters_saved: %v", metrics)
+	}
+}
+
 func TestQueryFullVector(t *testing.T) {
 	s, eng := testServer(t)
 	rec, body := get(t, s, "/query?seed=2&full=true")

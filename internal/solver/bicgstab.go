@@ -18,7 +18,7 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 	ar := newArena(opts.Work, n)
 	x := ar.takeZero()
 	if n == 0 {
-		return x, Stats{Converged: true}, nil
+		return x, Stats{Converged: true, StopReason: StopTolerance}, nil
 	}
 	var stats Stats
 
@@ -26,7 +26,7 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 	opts.Precond.Apply(t, b)
 	normB := vec.Norm2(t)
 	if normB == 0 {
-		return x, Stats{Converged: true}, nil
+		return x, Stats{Converged: true, StopReason: StopTolerance}, nil
 	}
 
 	// r = M⁻¹(b − A·x) = M⁻¹b for x = 0.
@@ -79,6 +79,7 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 			vec.AXPY(alpha, p, x)
 			stats.Residual = res
 			stats.Converged = true
+			stats.StopReason = StopTolerance
 			if opts.OnIteration != nil {
 				opts.OnIteration(iter, res)
 			}
@@ -104,11 +105,19 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, stats.Residual)
 		}
+		if opts.Probe != nil {
+			opts.Probe(iter, stats.Residual, func() []float64 { return x })
+		}
 		if opts.Callback != nil {
 			opts.Callback(iter, x)
 		}
 		if stats.Residual <= opts.Tol {
 			stats.Converged = true
+			stats.StopReason = StopTolerance
+			return x, stats, nil
+		}
+		if opts.StopWhen != nil && opts.StopWhen(iter, stats.Residual) {
+			stats.StopReason = StopEarly
 			return x, stats, nil
 		}
 		if omega == 0 {
@@ -116,6 +125,7 @@ func BiCGSTAB(a Operator, b []float64, opts GMRESOptions) ([]float64, Stats, err
 				iter, ErrNotConverged)
 		}
 	}
+	stats.StopReason = StopMaxIter
 	return x, stats, fmt.Errorf("after %d iterations (residual %.3g): %w",
 		stats.Iterations, stats.Residual, ErrNotConverged)
 }
