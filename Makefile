@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving bench-topk profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving bench-topk bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -44,9 +44,11 @@ race:
 # background flushes over one index), the cluster tier's routing ring
 # and generation-guarded scatter-gather against concurrent engine swaps,
 # and the bounded top-k search (solver StopWhen/Probe hooks, set-equality
-# property tests, qexec k-class batching under concurrent load).
+# property tests, qexec k-class batching under concurrent load), and the
+# observability layer (lock-free event ring, trace propagation across
+# HTTP backends during engine swaps, histogram snapshot merging).
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen|Trace|Merge|Event|Snapshot' \
 		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
 		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/ \
 		./internal/solver/
@@ -97,6 +99,13 @@ bench-serving:
 # table.
 bench-topk:
 	$(GO) run ./cmd/bepi-bench topk -size tiny
+
+# Smoke-run the observability-overhead experiment: the cluster workload
+# with histograms, sampled tracing and the flight recorder on versus
+# obs.Disabled. CI runs it so a change that puts allocation or locking on
+# the query hot path shows up as an overhead jump in the table.
+bench-obs:
+	$(GO) run ./cmd/bepi-bench obs -size tiny
 
 # Capture a CPU profile from a running bepi-serve (start it with
 # -debug-addr $(PROFILE_ADDR)) and drop into the pprof shell:

@@ -28,6 +28,12 @@ import (
 	"bepi/internal/graph"
 )
 
+// Version identifies this build of the serving system; it is surfaced as
+// the bepi_build_info gauge on every Prometheus exposition and carried on
+// /metrics/snapshot payloads so a mixed-version fleet is visible at the
+// coordinator. Bump it with behavior-visible releases.
+const Version = "0.8.0"
+
 // Edge is a directed edge from Src to Dst.
 type Edge struct {
 	Src, Dst int

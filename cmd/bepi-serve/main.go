@@ -33,10 +33,16 @@
 //	curl localhost:8080/replicas
 //
 // Observability: /metrics serves JSON (or Prometheus text to scrapers),
-// /debug/traces the recent per-query stage traces. -slow-query logs queries
-// over a threshold through log/slog; -trace-sample thins tracing under
-// load; -debug-addr opens a second, private listener with net/http/pprof
-// (keep it off the serving port — profiles are expensive and unauthenticated).
+// /debug/traces the recent per-query stage traces, and /debug/events the
+// always-on flight-recorder ring. In coordinator mode /metrics additionally
+// aggregates mergeable histograms from every replica into fleet-wide
+// quantiles, and /debug/traces?trace=ID assembles the cross-process trace
+// tree — trace context propagates to replicas via the X-Bepi-Trace header,
+// and appending ?trace=1 to any query forces a trace and echoes its ID.
+// -slow-query logs queries over a threshold through log/slog; -trace-sample
+// thins tracing under load; -debug-addr opens a second, private listener
+// with net/http/pprof (keep it off the serving port — profiles are
+// expensive and unauthenticated).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
 // requests get up to -shutdown-timeout to finish, and the execution pool
@@ -86,7 +92,7 @@ func pprofServer(addr string) *http.Server {
 
 // runCoordinator is the -coordinator entry point: front the replica fleet
 // with the cluster coordinator instead of serving an index locally.
-func runCoordinator(addr, replicaList string, healthInterval time.Duration, retries int, debugAddr string, shutdownTimeout time.Duration) {
+func runCoordinator(addr, replicaList string, healthInterval time.Duration, retries, traceSample int, slowQuery time.Duration, debugAddr string, shutdownTimeout time.Duration) {
 	var backends []cluster.Backend
 	for _, a := range strings.Split(replicaList, ",") {
 		a = strings.TrimSpace(a)
@@ -102,6 +108,11 @@ func runCoordinator(addr, replicaList string, healthInterval time.Duration, retr
 	coord, err := cluster.New(backends, cluster.Config{
 		HealthInterval: healthInterval,
 		Retries:        retries,
+		Obs: obs.New(obs.Options{
+			TraceSample: traceSample,
+			SlowQuery:   slowQuery,
+			Logger:      slog.Default(),
+		}),
 	})
 	if err != nil {
 		log.Fatalf("bepi-serve: %v", err)
@@ -173,7 +184,7 @@ func main() {
 	retriesFlag := flag.Int("retries", 2, "coordinator retry budget: failed queries retry up to this many ring successors")
 	flag.Parse()
 	if *coordinator {
-		runCoordinator(*addr, *replicas, *healthInterval, *retriesFlag, *debugAddr, *shutdownTimeout)
+		runCoordinator(*addr, *replicas, *healthInterval, *retriesFlag, *traceSample, *slowQuery, *debugAddr, *shutdownTimeout)
 		return
 	}
 	if (*indexPath == "") == (*graphPath == "") {

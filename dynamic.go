@@ -29,9 +29,10 @@ type Dynamic struct {
 	n       int
 	edges   map[[2]int]bool // the edge set of the serving index
 	pending map[[2]int]bool // true = insert, false = delete
-	engine  *Engine
-	gen     uint64 // index generation; starts at 1, bumped per swap
-	onSwap  func(eng *Engine, gen uint64, rebuild time.Duration)
+	engine    *Engine
+	gen       uint64 // index generation; starts at 1, bumped per swap
+	onSwap    func(eng *Engine, gen uint64, rebuild time.Duration)
+	onRebuild func(id, gen uint64, rebuild time.Duration, err error)
 
 	rebuild *Rebuild            // in-flight rebuild, nil when idle
 	history map[uint64]*Rebuild // recent rebuilds by id, for status polling
@@ -100,6 +101,19 @@ func (d *Dynamic) OnSwap(f func(eng *Engine, gen uint64, rebuild time.Duration))
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.onSwap = f
+}
+
+// OnRebuild registers f to be called when a background rebuild completes,
+// successfully or not: the rebuild id, the generation now serving (bumped
+// on success, unchanged on failure), the rebuild wall time, and the error
+// (nil on success). Unlike OnSwap it fires on failures too, so an
+// observability layer can record rebuild_fail events for rebuilds that
+// never swapped. Same constraints as OnSwap: f runs with Dynamic's lock
+// held — keep it short and do not call back into Dynamic.
+func (d *Dynamic) OnRebuild(f func(id, gen uint64, rebuild time.Duration, err error)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onRebuild = f
 }
 
 // AddNode grows the node set by one and returns the new node's id.
@@ -368,6 +382,9 @@ func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[
 	}
 	if err == nil && d.onSwap != nil {
 		d.onSwap(eng, d.gen, r.dur)
+	}
+	if d.onRebuild != nil {
+		d.onRebuild(r.id, d.gen, r.dur, err)
 	}
 	d.mu.Unlock()
 	close(r.done)

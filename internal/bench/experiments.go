@@ -43,6 +43,7 @@ func Experiments() []Experiment {
 		{"dynamic", "Beyond paper: query latency during a dynamic-index rebuild, stop-the-world vs background flush", DynamicRebuild},
 		{"cluster", "Beyond paper: sharded serving — coordinator qps and cache hit rate at 1/2/4 in-process replicas", Cluster},
 		{"topk", "Beyond paper: exact top-k early termination — bound-pruned vs full-tolerance latency per k", TopK},
+		{"obs", "Beyond paper: observability overhead — coordinator qps with histograms/traces/events on vs obs.Disabled", Obs},
 	}
 }
 

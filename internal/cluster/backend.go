@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"bepi/internal/obs"
 	"bepi/internal/server"
 )
 
@@ -75,6 +76,20 @@ type Backend interface {
 	Query(ctx context.Context, seed, topk int, full, exact bool) (Partial, error)
 	// Health probes the replica's readiness.
 	Health(ctx context.Context) (Health, error)
+}
+
+// TraceSource is an optional Backend capability: fetch the replica's trace
+// records belonging to one distributed trace. The coordinator's
+// /debug/traces?trace=ID handler fans out over it to assemble the
+// cross-process trace tree.
+type TraceSource interface {
+	Traces(ctx context.Context, traceID string, max int) ([]obs.Trace, error)
+}
+
+// SnapshotSource is an optional Backend capability: fetch the replica's
+// mergeable metrics snapshot for fleet-wide aggregation at the coordinator.
+type SnapshotSource interface {
+	MetricsSnapshot(ctx context.Context) (obs.MetricsSnapshot, error)
 }
 
 // BackendError is a replica-side failure with its HTTP-shaped status and
@@ -170,6 +185,18 @@ func (b *LocalBackend) Query(ctx context.Context, seed, topk int, full, exact bo
 	}, nil
 }
 
+// Traces implements TraceSource over the core's in-process trace ring.
+func (b *LocalBackend) Traces(ctx context.Context, traceID string, max int) ([]obs.Trace, error) {
+	return b.core.Executor().Observer().Tracer.ByTraceID(traceID, max), nil
+}
+
+// MetricsSnapshot implements SnapshotSource over the in-process core.
+func (b *LocalBackend) MetricsSnapshot(ctx context.Context) (obs.MetricsSnapshot, error) {
+	s := b.core.MetricsSnapshot()
+	s.Replica = b.name
+	return s, nil
+}
+
 // Health implements Backend.
 func (b *LocalBackend) Health(ctx context.Context) (Health, error) {
 	h := b.core.Health()
@@ -209,11 +236,16 @@ func NewHTTPBackend(addr string, client *http.Client) *HTTPBackend {
 func (b *HTTPBackend) Name() string { return b.name }
 
 // get issues a GET and decodes the JSON body into out, mapping non-200
-// statuses (and their Retry-After hints) to BackendError.
+// statuses (and their Retry-After hints) to BackendError. A trace context on
+// ctx is forwarded as the X-Bepi-Trace header, so the shard's executor
+// records its spans under the coordinator's trace.
 func (b *HTTPBackend) get(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
 	if err != nil {
 		return err
+	}
+	if tc, ok := obs.TraceFrom(ctx); ok {
+		req.Header.Set(obs.TraceHeader, tc.HeaderValue())
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -269,6 +301,32 @@ func (b *HTTPBackend) Query(ctx context.Context, seed, topk int, full, exact boo
 		IndexHash:    resp.IndexHash,
 		DurationMS:   resp.DurationMS,
 	}, nil
+}
+
+// Traces implements TraceSource over GET /debug/traces?trace=ID.
+func (b *HTTPBackend) Traces(ctx context.Context, traceID string, max int) ([]obs.Trace, error) {
+	v := url.Values{}
+	v.Set("trace", traceID)
+	if max > 0 {
+		v.Set("n", strconv.Itoa(max))
+	}
+	var resp server.TraceResponse
+	if err := b.get(ctx, "/debug/traces?"+v.Encode(), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
+// MetricsSnapshot implements SnapshotSource over GET /metrics/snapshot.
+func (b *HTTPBackend) MetricsSnapshot(ctx context.Context) (obs.MetricsSnapshot, error) {
+	var s obs.MetricsSnapshot
+	if err := b.get(ctx, "/metrics/snapshot", &s); err != nil {
+		return obs.MetricsSnapshot{}, err
+	}
+	if s.Replica == "" {
+		s.Replica = b.name
+	}
+	return s, nil
 }
 
 // Health implements Backend over GET /healthz.

@@ -7,12 +7,14 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bepi/internal/core"
 	"bepi/internal/obs"
+	"bepi/internal/qexec"
 	"bepi/internal/server"
 )
 
@@ -59,6 +61,13 @@ type Config struct {
 	// merge falls back to the full merge whenever it cannot certify
 	// exactness — so this is an A-B/debugging knob, not a correctness one.
 	FullVectorMerge bool
+	// Obs is the coordinator's observability bundle: its tracer opens the
+	// root span of every distributed trace (replicas attach under it via
+	// the propagated X-Bepi-Trace context), and its flight recorder logs
+	// routing events (retries, ejections, generation mixes). Nil selects a
+	// default enabled observer sampling 1 query in DefaultTraceSample;
+	// pass obs.Disabled to turn the layer off.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AttemptTimeout <= 0 {
 		c.AttemptTimeout = 10 * time.Second
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New(obs.Options{TraceSample: qexec.DefaultTraceSample})
 	}
 	return c
 }
@@ -119,11 +131,18 @@ type Coordinator struct {
 	ring atomic.Pointer[Ring]
 	mu   sync.Mutex // serializes ring membership transitions
 
+	// obs carries the coordinator's tracer (root spans of distributed
+	// traces) and flight recorder. Never nil after New.
+	obs *obs.Observer
+
 	// Scatter-gather counters.
 	batches    atomic.Int64
 	merges     atomic.Int64
 	mixRefused atomic.Int64
 	degraded   atomic.Int64
+	// refetches counts partials re-queried to converge a gather on one
+	// engine generation (the minority side of a mid-gather swap).
+	refetches atomic.Int64
 	// Rank-merge counters: merges answered from per-shard top-k lists, how
 	// often the candidate lists had to be escalated (re-fetched wider), and
 	// how often the merge gave up and fell back to full vectors.
@@ -147,6 +166,7 @@ func New(backends []Backend, cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:      cfg,
+		obs:      cfg.Obs,
 		replicas: make(map[string]*replica, len(backends)),
 		stop:     make(chan struct{}),
 	}
@@ -181,6 +201,25 @@ func (c *Coordinator) Close() {
 // Ring returns the current routing ring (healthy members only).
 func (c *Coordinator) Ring() *Ring { return c.ring.Load() }
 
+// Observer exposes the coordinator's observability bundle (tracer + flight
+// recorder) for the HTTP handler and tests.
+func (c *Coordinator) Observer() *obs.Observer { return c.obs }
+
+// beginTrace opens the coordinator-side trace record for one cluster
+// operation and returns a context carrying its trace context, so replica
+// attempts — and the shard processes behind them, via the propagated
+// X-Bepi-Trace header — record under the same trace ID with this record as
+// their parent span. Inside an already-traced context (a batch fan-out leg,
+// or a request that arrived with X-Bepi-Trace) the record is forced
+// regardless of sampling: the root decided this query is traced.
+func (c *Coordinator) beginTrace(ctx context.Context, kind string, seed int) (*obs.ActiveTrace, context.Context) {
+	at := c.obs.Tracer.BeginCtx(ctx, kind, seed)
+	if at == nil {
+		return nil, ctx
+	}
+	return at, obs.WithTrace(ctx, at.Context())
+}
+
 // Query answers a single-seed query, routing to the seed's ring owner for
 // cache affinity and retrying ring successors (with back-off honoring the
 // replica's Retry-After hint) on retryable failures.
@@ -196,6 +235,29 @@ func (c *Coordinator) query(ctx context.Context, seed, topk int, full, exact boo
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	at, ctx := c.beginTrace(ctx, "cluster.query", seed)
+	p, err := c.route(ctx, at, seed, topk, full, exact)
+	if at != nil {
+		if err != nil {
+			at.SetErr(err)
+		} else {
+			at.SetTag("shard", p.Replica)
+			at.SetTag("generation", strconv.FormatUint(p.Generation, 10))
+			if p.Cached {
+				at.SetCached()
+			}
+		}
+		at.Finish(c.obs.Now())
+	}
+	return p, err
+}
+
+// route walks the seed's ring successors: the owner first, then up to
+// Retries fallbacks, each behind a back-off. Every attempt (and every
+// back-off wait) becomes a span on the coordinator's trace record, tagged
+// with the shard and attempt number; retries and exhausted routes go to the
+// flight recorder.
+func (c *Coordinator) route(ctx context.Context, at *obs.ActiveTrace, seed, topk int, full, exact bool) (Partial, error) {
 	ring := c.ring.Load()
 	if ring.Len() == 0 {
 		return Partial{}, ErrNoReplicas
@@ -205,11 +267,24 @@ func (c *Coordinator) query(ctx context.Context, seed, topk int, full, exact boo
 	for i, name := range order {
 		if i > 0 {
 			c.replicas[name].retries.Add(1)
+			c.obs.Events.Record("retry", at.TraceID(), map[string]string{
+				"seed":    strconv.Itoa(seed),
+				"shard":   name,
+				"attempt": strconv.Itoa(i + 1),
+				"cause":   lastErr.Error(),
+			})
+			bStart := c.obs.Now()
 			if err := c.backoff(ctx, i, lastErr); err != nil {
 				return Partial{}, err
 			}
+			at.AddSpan("backoff", bStart, c.obs.Now())
 		}
+		aStart := c.obs.Now()
 		p, err := c.queryReplica(ctx, c.replicas[name], seed, topk, full, exact)
+		at.AddSpanTags("attempt", aStart, c.obs.Now(), map[string]string{
+			"shard":   name,
+			"attempt": strconv.Itoa(i + 1),
+		})
 		if err == nil {
 			return p, nil
 		}
@@ -292,6 +367,7 @@ func (c *Coordinator) Batch(ctx context.Context, seeds []int, topk int) (BatchRe
 		return BatchResult{}, ErrNoReplicas
 	}
 	c.batches.Add(1)
+	at, ctx := c.beginTrace(ctx, "cluster.batch", len(seeds))
 	res := BatchResult{
 		Seeds:   seeds,
 		Results: make([]*Partial, len(seeds)),
@@ -329,10 +405,27 @@ func (c *Coordinator) Batch(ctx context.Context, seeds []int, topk int) (BatchRe
 	}
 	if res.Degraded {
 		c.degraded.Add(1)
+		c.obs.Events.Record("degraded_batch", at.TraceID(), map[string]string{
+			"seeds":  strconv.Itoa(len(seeds)),
+			"failed": strconv.Itoa(len(failShards)),
+		})
 	}
 	res.MixedTags = len(tags) > 1
+	if res.MixedTags {
+		c.obs.Events.Record("generation_mix", at.TraceID(), map[string]string{
+			"kind": "batch", "tags": strconv.Itoa(len(tags)),
+		})
+	}
 	res.ShardsOK = sortedKeys(okShards)
 	res.ShardsFailed = sortedKeys(failShards)
+	if at != nil {
+		at.SetBatch(len(seeds))
+		at.SetTag("shards_ok", strconv.Itoa(len(res.ShardsOK)))
+		if res.Degraded {
+			at.SetTag("degraded", "true")
+		}
+		at.Finish(c.obs.Now())
+	}
 	return res, nil
 }
 
@@ -420,6 +513,28 @@ func (c *Coordinator) Personalized(ctx context.Context, weights map[int]float64,
 		topk = 10
 	}
 
+	at, ctx := c.beginTrace(ctx, "cluster.personalized", len(seeds))
+	m, err := c.merge(ctx, weights, sum, seeds, topk)
+	if at != nil {
+		if err != nil {
+			at.SetErr(err)
+		} else {
+			at.SetBatch(len(seeds))
+			at.SetTag("mode", m.Mode)
+			at.SetTag("generation", strconv.FormatUint(m.Tag.Gen, 10))
+			if m.Refetched > 0 {
+				at.SetTag("refetched", strconv.Itoa(m.Refetched))
+			}
+		}
+		at.Finish(c.obs.Now())
+	}
+	return m, err
+}
+
+// merge runs the personalized merge under an already-opened trace context:
+// the rank merge first (unless disabled), the full-vector merge as the
+// certified-exact fallback.
+func (c *Coordinator) merge(ctx context.Context, weights map[int]float64, sum float64, seeds []int, topk int) (Merged, error) {
 	if !c.cfg.FullVectorMerge {
 		if m, ok, err := c.rankMerge(ctx, weights, sum, seeds, topk); err != nil {
 			return Merged{}, err
@@ -466,6 +581,15 @@ func (c *Coordinator) gather(ctx context.Context, seeds []int, topk int, full, e
 	stale := mismatched(partials)
 	if len(stale) > 0 {
 		refetched = len(stale)
+		c.refetches.Add(int64(refetched))
+		traceID := ""
+		if tc, ok := obs.TraceFrom(ctx); ok {
+			traceID = tc.TraceID
+		}
+		c.obs.Events.Record("generation_refetch", traceID, map[string]string{
+			"partials": strconv.Itoa(len(partials)),
+			"stale":    strconv.Itoa(refetched),
+		})
 		fetch(stale)
 		for _, i := range stale {
 			if errs[i] != nil {
@@ -474,6 +598,9 @@ func (c *Coordinator) gather(ctx context.Context, seeds []int, topk int, full, e
 		}
 		if len(mismatched(partials)) > 0 {
 			c.mixRefused.Add(1)
+			c.obs.Events.Record("generation_mix", traceID, map[string]string{
+				"kind": "merge", "partials": strconv.Itoa(len(partials)),
+			})
 			return nil, 0, ErrGenerationMix
 		}
 	}

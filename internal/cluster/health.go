@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -55,6 +56,10 @@ func (c *Coordinator) CheckNow(ctx context.Context) {
 			if !rep.healthy.Load() && rep.consecOK >= c.cfg.ReadmitThreshold {
 				rep.healthy.Store(true)
 				rep.readmissions.Add(1)
+				c.obs.Events.Record("shard_readmitted", "", map[string]string{
+					"shard":     name,
+					"consec_ok": strconv.Itoa(rep.consecOK),
+				})
 				ring = ring.With(name)
 				changed = true
 			}
@@ -64,6 +69,11 @@ func (c *Coordinator) CheckNow(ctx context.Context) {
 			if rep.healthy.Load() && rep.consecFail >= c.cfg.FailThreshold {
 				rep.healthy.Store(false)
 				rep.ejections.Add(1)
+				c.obs.Events.Record("shard_ejected", "", map[string]string{
+					"shard":       name,
+					"consec_fail": strconv.Itoa(rep.consecFail),
+					"cause":       results[i].Error(),
+				})
 				ring = ring.Without(name)
 				changed = true
 			}

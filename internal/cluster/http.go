@@ -25,7 +25,14 @@ import (
 //	POST /personalized {"weights":{...}}  linearity-decomposed PPR merge
 //	GET  /healthz                         coordinator readiness
 //	GET  /replicas                        per-replica health/routing state
-//	GET  /metrics, /metrics.prom          routing metrics (JSON/Prometheus)
+//	GET  /metrics, /metrics.prom          routing + fleet-merged metrics
+//	                                      (JSON/Prometheus)
+//	GET  /debug/traces?trace=ID           assembled cross-process trace tree
+//	GET  /debug/traces?n=K                coordinator's recent trace records
+//	GET  /debug/events?n=K                coordinator flight recorder
+//
+// Adding `?trace=1` to /query, /batch, or /personalized forces a distributed
+// trace for that request; the X-Bepi-Trace response header carries its ID.
 type Handler struct {
 	coord *Coordinator
 	mux   *http.ServeMux
@@ -41,6 +48,8 @@ func NewHandler(c *Coordinator) *Handler {
 	h.mux.HandleFunc("/replicas", h.handleReplicas)
 	h.mux.HandleFunc("/metrics", h.handleMetrics)
 	h.mux.HandleFunc("/metrics.prom", h.handleMetricsProm)
+	h.mux.HandleFunc("/debug/traces", h.handleTraces)
+	h.mux.HandleFunc("/debug/events", h.handleEvents)
 	return h
 }
 
@@ -98,7 +107,7 @@ func (h *Handler) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	p, err := h.coord.query(r.Context(), seed, topk,
+	p, err := h.coord.query(traceContext(w, r), seed, topk,
 		r.URL.Query().Get("full") == "true",
 		r.URL.Query().Get("exact") == "true")
 	if err != nil {
@@ -148,7 +157,7 @@ func (h *Handler) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "seeds must be non-empty"})
 		return
 	}
-	res, err := h.coord.Batch(r.Context(), req.Seeds, req.TopK)
+	res, err := h.coord.Batch(traceContext(w, r), req.Seeds, req.TopK)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -216,7 +225,7 @@ func (h *Handler) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		}
 		weights[node] = v
 	}
-	m, err := h.coord.Personalized(r.Context(), weights, req.TopK)
+	m, err := h.coord.Personalized(traceContext(w, r), weights, req.TopK)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -269,10 +278,14 @@ type MetricsResponse struct {
 	RankEscalations  int64           `json:"rank_escalations"`
 	FullFallbacks    int64           `json:"full_fallbacks"`
 	MixRefused       int64           `json:"generation_mix_refused"`
+	Refetches        int64           `json:"generation_refetches"`
 	DegradedBatches  int64           `json:"degraded_batches"`
 	Replicas         []ReplicaStatus `json:"replicas"`
 	RingMembers      []string        `json:"ring_members"`
 	ConfiguredVnodes int             `json:"vnodes"`
+	// Fleet is the fleet-wide latency aggregation over replica
+	// /metrics/snapshot payloads (absent when no backend supports it).
+	Fleet *FleetMetrics `json:"fleet,omitempty"`
 }
 
 func (h *Handler) metrics() MetricsResponse {
@@ -283,6 +296,7 @@ func (h *Handler) metrics() MetricsResponse {
 		RankEscalations:  h.coord.rankEscalations.Load(),
 		FullFallbacks:    h.coord.fullFallbacks.Load(),
 		MixRefused:       h.coord.mixRefused.Load(),
+		Refetches:        h.coord.refetches.Load(),
 		DegradedBatches:  h.coord.degraded.Load(),
 		Replicas:         h.coord.Replicas(),
 		RingMembers:      h.coord.Ring().Members(),
@@ -296,12 +310,26 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		h.handleMetricsProm(w, r)
 		return
 	}
-	writeJSON(w, http.StatusOK, h.metrics())
+	if r.Context().Err() != nil {
+		return
+	}
+	m := h.metrics()
+	ctx, cancel := snapshotCtx(r)
+	m.Fleet = fleetMetrics(h.coord.FleetSnapshots(ctx))
+	cancel()
+	writeJSON(w, http.StatusOK, m)
 }
 
 func (h *Handler) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		return
+	}
+	ctx, cancel := snapshotCtx(r)
+	snaps := h.coord.FleetSnapshots(ctx)
+	cancel()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	p := obs.NewPromWriter(w)
+	h.writeFleetProm(p, snaps)
 	m := h.metrics()
 	p.Counter("bepi_cluster_batches_total", "Scatter-gather batch queries.", float64(m.Batches))
 	p.Counter("bepi_cluster_merges_total", "Personalized merges completed.", float64(m.Merges))

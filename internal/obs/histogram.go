@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -63,13 +64,54 @@ func (h *Histogram) Name() string {
 	return h.name
 }
 
-// HistSnapshot is a point-in-time copy of a histogram's state.
+// HistSnapshot is a point-in-time copy of a histogram's state. It is the
+// histogram's mergeable exported form: because every process builds a given
+// metric over identical bounds, snapshots travel as JSON (shards serve them
+// at /metrics/snapshot) and fleet-wide quantiles come from Merge-ing the
+// per-shard snapshots — histogram merging is exact (bucket counts add),
+// unlike quantile merging.
 type HistSnapshot struct {
-	Name   string
-	Bounds []float64 // bucket upper bounds; one implicit +Inf bucket follows
-	Counts []uint64  // per-bucket counts, len(Bounds)+1
-	Count  uint64    // total observations (sum of Counts)
-	Sum    float64   // sum of observed values
+	Name   string    `json:"name,omitempty"`
+	Bounds []float64 `json:"bounds"` // bucket upper bounds; one implicit +Inf bucket follows
+	Counts []uint64  `json:"counts"` // per-bucket counts, len(Bounds)+1
+	Count  uint64    `json:"count"`  // total observations (sum of Counts)
+	Sum    float64   `json:"sum"`    // sum of observed values
+}
+
+// Merge returns the snapshot of the union of the two observation streams.
+// Both snapshots must have identical bounds (the standard bucket layouts in
+// this package guarantee that for same-named metrics); merging with a zero
+// snapshot returns the other operand. An error is returned on a bounds
+// mismatch rather than silently misbinning.
+func (s HistSnapshot) Merge(o HistSnapshot) (HistSnapshot, error) {
+	if s.Count == 0 && len(s.Bounds) == 0 {
+		return o, nil
+	}
+	if o.Count == 0 && len(o.Bounds) == 0 {
+		return s, nil
+	}
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("obs: merge %q: %d bounds vs %d", s.Name, len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("obs: merge %q: bound[%d] %g vs %g", s.Name, i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	m := HistSnapshot{
+		Name:   s.Name,
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	copy(m.Counts, s.Counts)
+	for i := range o.Counts {
+		if i < len(m.Counts) {
+			m.Counts[i] += o.Counts[i]
+		}
+	}
+	return m, nil
 }
 
 // Snapshot copies the histogram's current state. Safe under concurrent

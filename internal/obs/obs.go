@@ -96,6 +96,11 @@ type Observer struct {
 	Tracer *Tracer
 	// SlowLog logs queries slower than its threshold through log/slog.
 	SlowLog *SlowLog
+	// Events is the always-on flight recorder: a lock-free bounded ring of
+	// structured operational events (engine swaps, admission rejections,
+	// shard ejections, retries) served at GET /debug/events and correlated
+	// with traces by trace ID.
+	Events *EventLog
 }
 
 // Disabled is an observer with every sink turned off. Pass it where a nil
@@ -111,6 +116,9 @@ type Options struct {
 	TraceCapacity int
 	// TraceSample traces every TraceSample-th query; default 1 (all).
 	TraceSample int
+	// EventCapacity bounds the flight-recorder ring; default
+	// DefaultEventCapacity, negative disables the recorder.
+	EventCapacity int
 	// SlowQuery, when positive, enables the slow-query log at that
 	// threshold.
 	SlowQuery time.Duration
@@ -140,6 +148,9 @@ func New(opts Options) *Observer {
 	}
 	if cap > 0 {
 		o.Tracer = NewTracer(cap, opts.TraceSample, opts.Clock)
+	}
+	if opts.EventCapacity >= 0 {
+		o.Events = NewEventLog(opts.EventCapacity, opts.Clock)
 	}
 	if opts.SlowQuery > 0 {
 		o.SlowLog = NewSlowLog(opts.Logger, opts.SlowQuery)

@@ -118,6 +118,35 @@ func (p *PromWriter) GaugeVec(name, help, label string, vals map[string]float64)
 	}
 }
 
+// InfoGauge writes a gauge family with one constant-1 sample carrying the
+// given labels (the `foo_build_info` idiom: the values live in the labels).
+// Labels are written in sorted key order for a reproducible exposition.
+func (p *PromWriter) InfoGauge(name, help string, labels map[string]string) {
+	if !p.family(name, "gauge", help) {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	p.sample(name, strings.Join(parts, ","), 1)
+}
+
+// WriteBuildInfo emits the standard bepi_build_info gauge from a BuildInfo.
+func WriteBuildInfo(p *PromWriter, b BuildInfo) {
+	p.InfoGauge("bepi_build_info", "Build identity; the values are in the labels.",
+		map[string]string{
+			"version":    b.Version,
+			"go_version": b.GoVersion,
+			"compact":    b.Compact,
+		})
+}
+
 // CounterVec writes one counter family with a sample per value of the
 // given label, in sorted label order for a reproducible exposition.
 func (p *PromWriter) CounterVec(name, help, label string, vals map[string]float64) {

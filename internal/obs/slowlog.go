@@ -50,9 +50,12 @@ func (s *SlowLog) Count() int64 {
 	return s.count.Load()
 }
 
-// Log writes one slow-query record. spans may be nil (e.g. when the query
-// was not sampled by the tracer); per-stage durations are then omitted.
-func (s *SlowLog) Log(kind string, seed int, total time.Duration,
+// Log writes one slow-query record. traceID correlates the line with
+// /debug/traces and /debug/events ("" when the query was untraced); spans
+// may be nil (e.g. when the query was not sampled by the tracer), otherwise
+// the per-stage breakdown is emitted inline so the one line is actionable
+// without a second lookup.
+func (s *SlowLog) Log(kind string, seed int, traceID string, total time.Duration,
 	cached, coalesced bool, iterations int, residual float64, err error, spans []Span) {
 	if s == nil {
 		return
@@ -67,6 +70,9 @@ func (s *SlowLog) Log(kind string, seed int, total time.Duration,
 		slog.Bool("coalesced", coalesced),
 		slog.Int("iterations", iterations),
 		slog.Float64("residual", residual),
+	}
+	if traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", traceID))
 	}
 	if err != nil {
 		attrs = append(attrs, slog.String("error", err.Error()))

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,15 +16,29 @@ type Span struct {
 	Name  string        `json:"name"`
 	Start time.Duration `json:"start_ns"`
 	Dur   time.Duration `json:"dur_ns"`
+	// Tags annotate spans that fan out (replica, attempt, status, ...).
+	Tags map[string]string `json:"tags,omitempty"`
 }
 
 // Trace is the completed record of one query through the execution
-// subsystem.
+// subsystem. In a cluster, one distributed trace is a set of Trace records
+// sharing a TraceID: the coordinator's root record (ParentID 0) plus one
+// record per shard request, each parented on the coordinator span that
+// issued it. GET /debug/traces on the coordinator joins them into a tree.
 type Trace struct {
 	ID   uint64    `json:"id"`
 	Kind string    `json:"kind"` // "query" | "personalized"
 	Seed int       `json:"seed"` // -1 for personalized queries
 	Time time.Time `json:"time"` // trace start
+
+	// TraceID names the distributed trace this record belongs to; SpanID
+	// names this record within it; ParentID is the SpanID of the record
+	// (possibly on another machine) that caused it, 0 for a root.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Tags annotate the whole record (generation, replica, ...).
+	Tags map[string]string `json:"tags,omitempty"`
 
 	Total      time.Duration `json:"total_ns"`
 	Cached     bool          `json:"cached,omitempty"`
@@ -72,16 +87,40 @@ func (t *Tracer) Begin(kind string, seed int) *ActiveTrace {
 	if (n-1)%t.sample != 0 {
 		return nil
 	}
+	return t.begin(n, kind, seed, TraceContext{TraceID: NewTraceID()})
+}
+
+// BeginCtx starts a trace honoring a propagated trace context: when ctx
+// carries a TraceContext (set by WithTrace from an X-Bepi-Trace header or a
+// coordinator root span), the query is traced unconditionally — the
+// sampling decision was already made at the root — and the record adopts
+// the context's trace ID with the context's span as its parent. Without a
+// context it behaves exactly like Begin.
+func (t *Tracer) BeginCtx(ctx context.Context, kind string, seed int) *ActiveTrace {
+	if t == nil {
+		return nil
+	}
+	tc, ok := TraceFrom(ctx)
+	if !ok {
+		return t.Begin(kind, seed)
+	}
+	return t.begin(t.n.Add(1), kind, seed, tc)
+}
+
+func (t *Tracer) begin(n uint64, kind string, seed int, tc TraceContext) *ActiveTrace {
 	start := t.clock.now()
 	return &ActiveTrace{
 		t:     t,
 		start: start,
 		tr: Trace{
-			ID:    n,
-			Kind:  kind,
-			Seed:  seed,
-			Time:  start,
-			Spans: make([]Span, 0, 8),
+			ID:       n,
+			Kind:     kind,
+			Seed:     seed,
+			Time:     start,
+			TraceID:  tc.TraceID,
+			SpanID:   newSpanID(),
+			ParentID: tc.SpanID,
+			Spans:    make([]Span, 0, 8),
 		},
 	}
 }
@@ -106,67 +145,153 @@ func (t *Tracer) Recent(max int) []Trace {
 	return out
 }
 
-// ActiveTrace is a trace being recorded. It is not internally synchronized:
-// the serving path hands it from the requester goroutine to the worker and
-// back with channel happens-before edges, which is exactly the ordering its
-// appends need. All methods are no-ops on a nil receiver.
+// ByTraceID returns up to max finished records belonging to the given
+// distributed trace, newest first. Pass max ≤ 0 for all matches in the
+// ring.
+func (t *Tracer) ByTraceID(id string, max int) []Trace {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Trace
+	for i := 0; i < t.size; i++ {
+		tr := t.ring[((t.pos-1-i)%len(t.ring)+len(t.ring))%len(t.ring)]
+		if tr.TraceID != id {
+			continue
+		}
+		out = append(out, tr)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Capacity returns the ring size (0 for a nil tracer) — the hard upper
+// bound on what Recent and ByTraceID can return.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// ActiveTrace is a trace being recorded. A small mutex guards the record:
+// the qexec path hands the trace between goroutines with happens-before
+// edges, but the cluster coordinator appends attempt spans from concurrent
+// scatter-gather goroutines, so mutation must be internally synchronized.
+// All methods are no-ops on a nil receiver.
 type ActiveTrace struct {
 	t     *Tracer
 	start time.Time
+	mu    sync.Mutex
 	tr    Trace
+}
+
+// Context returns the propagation context for requests this trace causes:
+// child records adopt the trace ID and parent on this record's span.
+func (a *ActiveTrace) Context() TraceContext {
+	if a == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: a.tr.TraceID, SpanID: a.tr.SpanID}
 }
 
 // AddSpan records a stage that ran from `from` to `to` (tracer-clock
 // timestamps).
 func (a *ActiveTrace) AddSpan(name string, from, to time.Time) {
+	a.AddSpanTags(name, from, to, nil)
+}
+
+// AddSpanTags records a stage with annotations (replica, attempt, ...).
+func (a *ActiveTrace) AddSpanTags(name string, from, to time.Time, tags map[string]string) {
 	if a == nil {
 		return
 	}
-	a.tr.Spans = append(a.tr.Spans, Span{Name: name, Start: from.Sub(a.start), Dur: to.Sub(from)})
+	a.mu.Lock()
+	a.tr.Spans = append(a.tr.Spans, Span{Name: name, Start: from.Sub(a.start), Dur: to.Sub(from), Tags: tags})
+	a.mu.Unlock()
+}
+
+// SetTag annotates the whole record.
+func (a *ActiveTrace) SetTag(key, value string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.tr.Tags == nil {
+		a.tr.Tags = make(map[string]string, 4)
+	}
+	a.tr.Tags[key] = value
+	a.mu.Unlock()
 }
 
 // SetCached marks the query as served from the score cache.
 func (a *ActiveTrace) SetCached() {
 	if a != nil {
+		a.mu.Lock()
 		a.tr.Cached = true
+		a.mu.Unlock()
 	}
 }
 
 // SetCoalesced marks the query as having ridden an in-flight solve.
 func (a *ActiveTrace) SetCoalesced() {
 	if a != nil {
+		a.mu.Lock()
 		a.tr.Coalesced = true
+		a.mu.Unlock()
 	}
 }
 
 // SetBatch records how many queries shared this query's engine solve.
 func (a *ActiveTrace) SetBatch(k int) {
 	if a != nil {
+		a.mu.Lock()
 		a.tr.BatchSize = k
+		a.mu.Unlock()
 	}
 }
 
 // SetSolve records the iterative solver's outcome for this query.
 func (a *ActiveTrace) SetSolve(iterations int, residual float64) {
 	if a != nil {
+		a.mu.Lock()
 		a.tr.Iterations = iterations
 		a.tr.Residual = residual
+		a.mu.Unlock()
 	}
 }
 
 // SetErr records a failure.
 func (a *ActiveTrace) SetErr(err error) {
 	if a != nil && err != nil {
+		a.mu.Lock()
 		a.tr.Err = err.Error()
+		a.mu.Unlock()
 	}
 }
 
-// Spans exposes the spans recorded so far (for the slow-query log).
+// Spans exposes a copy of the spans recorded so far (for the slow-query
+// log).
 func (a *ActiveTrace) Spans() []Span {
 	if a == nil {
 		return nil
 	}
-	return a.tr.Spans
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Span, len(a.tr.Spans))
+	copy(out, a.tr.Spans)
+	return out
+}
+
+// TraceID exposes the distributed trace ID ("" when untraced or nil).
+func (a *ActiveTrace) TraceID() string {
+	if a == nil {
+		return ""
+	}
+	return a.tr.TraceID
 }
 
 // Finish stamps the total duration and publishes the trace into the ring.
@@ -176,10 +301,13 @@ func (a *ActiveTrace) Finish(end time.Time) {
 	if a == nil {
 		return
 	}
+	a.mu.Lock()
 	a.tr.Total = end.Sub(a.start)
+	tr := a.tr
+	a.mu.Unlock()
 	t := a.t
 	t.mu.Lock()
-	t.ring[t.pos] = a.tr
+	t.ring[t.pos] = tr
 	t.pos = (t.pos + 1) % len(t.ring)
 	if t.size < len(t.ring) {
 		t.size++

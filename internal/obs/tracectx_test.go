@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "deadbeefcafef00d", SpanID: 0x1234}
+	got, ok := ParseTraceHeader(tc.HeaderValue())
+	if !ok || got != tc {
+		t.Fatalf("round trip: %+v ok=%v want %+v", got, ok, tc)
+	}
+
+	// Bare trace ID: parent defaults to root.
+	got, ok = ParseTraceHeader("deadbeefcafef00d")
+	if !ok || got.TraceID != "deadbeefcafef00d" || got.SpanID != 0 {
+		t.Fatalf("bare id: %+v ok=%v", got, ok)
+	}
+
+	for _, bad := range []string{"", "   ", "not-hex-zzz", "xyz", "deadbeef-zz"} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWithTraceFrom(t *testing.T) {
+	if _, ok := TraceFrom(context.Background()); ok {
+		t.Fatal("empty context must carry no trace")
+	}
+	if _, ok := TraceFrom(nil); ok {
+		t.Fatal("nil context must carry no trace")
+	}
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: 7}
+	got, ok := TraceFrom(WithTrace(context.Background(), tc))
+	if !ok || got != tc {
+		t.Fatalf("got %+v ok=%v want %+v", got, ok, tc)
+	}
+	// An invalid (zero) context does not count as traced.
+	if _, ok := TraceFrom(WithTrace(context.Background(), TraceContext{})); ok {
+		t.Fatal("zero TraceContext must not report as traced")
+	}
+}
+
+func TestNewTraceIDDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 || !isHex(id) {
+			t.Fatalf("bad trace id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestBeginCtxAdoptsPropagatedTrace is the whole-tree sampling contract: a
+// tracer that would not sample this query on its own MUST trace it when the
+// context carries a propagated trace, recording under the remote trace ID
+// with the remote span as parent.
+func TestBeginCtxAdoptsPropagatedTrace(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTracer(8, 1000000, clk.now) // samples the 1st query, then ~nothing
+	tr.Begin("warmup", 0).Finish(clk.now())
+
+	if at := tr.BeginCtx(context.Background(), "query", 1); at != nil {
+		t.Fatal("unsampled query without propagated trace must not trace")
+	}
+
+	tc := TraceContext{TraceID: "feedface00000001", SpanID: 42}
+	at := tr.BeginCtx(WithTrace(context.Background(), tc), "query", 1)
+	if at == nil {
+		t.Fatal("propagated trace must force tracing")
+	}
+	child := at.Context()
+	if child.TraceID != tc.TraceID {
+		t.Fatalf("child trace id %q want %q", child.TraceID, tc.TraceID)
+	}
+	if child.SpanID == 0 || child.SpanID == tc.SpanID {
+		t.Fatalf("child span id %d must be fresh (parent %d)", child.SpanID, tc.SpanID)
+	}
+	at.Finish(clk.now())
+
+	got := tr.ByTraceID(tc.TraceID, 0)
+	if len(got) != 1 {
+		t.Fatalf("ByTraceID: %d records", len(got))
+	}
+	if got[0].ParentID != tc.SpanID || got[0].SpanID != child.SpanID {
+		t.Fatalf("linkage wrong: %+v", got[0])
+	}
+}
+
+func TestBeginAssignsFreshTraceID(t *testing.T) {
+	tr := NewTracer(8, 1, nil)
+	at := tr.Begin("query", 3)
+	if at == nil {
+		t.Fatal("sample=1 must trace")
+	}
+	tc := at.Context()
+	if !tc.Valid() || tc.SpanID == 0 {
+		t.Fatalf("root record must carry ids: %+v", tc)
+	}
+	at.Finish(time.Now())
+	got := tr.ByTraceID(tc.TraceID, 0)
+	if len(got) != 1 || got[0].ParentID != 0 {
+		t.Fatalf("root record wrong: %+v", got)
+	}
+}
+
+func TestByTraceIDNewestFirst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTracer(8, 1, clk.now)
+	tc := TraceContext{TraceID: "abc123", SpanID: 1}
+	ctx := WithTrace(context.Background(), tc)
+	for i := 0; i < 3; i++ {
+		at := tr.BeginCtx(ctx, "query", i)
+		at.Finish(clk.now())
+	}
+	other := tr.Begin("query", 99)
+	other.Finish(clk.now())
+
+	got := tr.ByTraceID("abc123", 0)
+	if len(got) != 3 {
+		t.Fatalf("ByTraceID: %d records want 3", len(got))
+	}
+	if got[0].Seed != 2 || got[2].Seed != 0 {
+		t.Fatalf("not newest-first: %+v", got)
+	}
+	if got2 := tr.ByTraceID("abc123", 2); len(got2) != 2 {
+		t.Fatalf("capped ByTraceID: %d", len(got2))
+	}
+	if miss := tr.ByTraceID("ffffffffffffffff", 0); len(miss) != 0 {
+		t.Fatalf("unknown trace id: %+v", miss)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -345,6 +346,9 @@ func (e *Executor) SwapEngine(eng *core.Engine) {
 		}
 	}
 	e.m.swaps.Add(1)
+	e.obs.Events.Record("engine_swap", "", map[string]string{
+		"generation": strconv.FormatUint(e.eng.Load().gen, 10),
+	})
 	if e.cache != nil {
 		e.cache.purge()
 	}
@@ -477,6 +481,10 @@ func (e *Executor) worker() {
 			// The engine panicked mid-solve: fail the whole batch instead
 			// of hanging it, discard the workspace (its buffers are in an
 			// unknown state), and keep the worker alive for the next batch.
+			e.obs.Events.Record("solve_panic", r.at.TraceID(), map[string]string{
+				"batch": strconv.Itoa(len(batch)),
+				"error": panicErr.Error(),
+			})
 			wsEng, ws = nil, nil
 			for _, br := range batch {
 				br.err = panicErr
@@ -490,6 +498,7 @@ func (e *Executor) worker() {
 			if br.at != nil {
 				br.at.AddSpan("solve", tSolve, tEnd)
 				br.at.SetSolve(br.stats.Iterations, br.stats.Residual)
+				addStageSpans(br.at, tSolve, br.stats.Stages)
 			}
 			if br.err == nil {
 				e.obs.Iterations.Observe(float64(br.stats.Iterations))
@@ -497,6 +506,25 @@ func (e *Executor) worker() {
 			}
 			close(br.done)
 		}
+	}
+}
+
+// addStageSpans translates the engine's per-phase durations (permute,
+// forward substitution, iterative Schur solve, back reconstruction) into
+// child spans laid end to end from the solve start — the engine runs the
+// phases sequentially, so cumulative offsets reconstruct the layout the
+// coordinator's trace tree renders under the "solve" span.
+func addStageSpans(at *obs.ActiveTrace, tSolve time.Time, st core.StageTimings) {
+	t := tSolve
+	for _, ph := range [...]struct {
+		name string
+		d    time.Duration
+	}{{"permute", st.Permute}, {"forward", st.Forward}, {"schur", st.Solve}, {"back", st.Back}} {
+		if ph.d <= 0 {
+			continue
+		}
+		at.AddSpan(ph.name, t, t.Add(ph.d))
+		t = t.Add(ph.d)
 	}
 }
 
@@ -561,10 +589,15 @@ type queryObs struct {
 	abandoned bool
 }
 
-// startQuery opens the query's observation window.
-func (e *Executor) startQuery(kind string, seed int) queryObs {
+// startQuery opens the query's observation window. ctx may carry a
+// propagated trace context (obs.WithTrace, set by the HTTP binding from an
+// X-Bepi-Trace header or by the cluster coordinator's root span): such
+// queries are traced unconditionally and their records attach under the
+// remote parent, so a coordinator-rooted trace always contains the owning
+// shard's qexec and solve-stage spans.
+func (e *Executor) startQuery(ctx context.Context, kind string, seed int) queryObs {
 	start := e.obs.Now()
-	return queryObs{start: start, at: e.obs.Tracer.Begin(kind, seed)}
+	return queryObs{start: start, at: e.obs.Tracer.BeginCtx(ctx, kind, seed)}
 }
 
 // span closes a stage span on the sampled trace, reading the clock only
@@ -587,12 +620,20 @@ func (e *Executor) finish(qo *queryObs, kind string, seed int, res *Result, err 
 		at = nil
 	}
 	if at != nil {
+		if res.Generation > 0 {
+			at.SetTag("generation", strconv.FormatUint(res.Generation, 10))
+		}
 		at.SetErr(err)
 		at.Finish(end)
 	}
 	if sl := e.obs.SlowLog; sl.Slow(total) {
-		sl.Log(kind, seed, total, res.Cached, res.Coalesced,
+		sl.Log(kind, seed, at.TraceID(), total, res.Cached, res.Coalesced,
 			res.Stats.Iterations, res.Stats.Residual, err, at.Spans())
+		e.obs.Events.Record("slow_query", at.TraceID(), map[string]string{
+			"kind":  kind,
+			"seed":  strconv.Itoa(seed),
+			"total": total.String(),
+		})
 	}
 }
 
@@ -609,6 +650,7 @@ func (e *Executor) submit(r *request) error {
 		return nil
 	default:
 		e.m.shed.Add(1)
+		e.obs.Events.Record("admission_reject", r.at.TraceID(), nil)
 		return ErrOverloaded
 	}
 }
@@ -727,7 +769,7 @@ func (e *Executor) Query(ctx context.Context, seed int) (Result, error) {
 	if seed < 0 || seed >= eng.N() {
 		return Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, eng.N())
 	}
-	qo := e.startQuery("query", seed)
+	qo := e.startQuery(ctx, "query", seed)
 	res, err := e.run(ctx, seed, eng, gen, &qo)
 	e.finish(&qo, "query", seed, &res, err)
 	return res, err
@@ -744,7 +786,7 @@ func (e *Executor) Personalized(ctx context.Context, q []float64) (Result, error
 	if len(q) != eng.N() {
 		return Result{}, fmt.Errorf("qexec: query vector length %d want %d", len(q), eng.N())
 	}
-	qo := e.startQuery("personalized", -1)
+	qo := e.startQuery(ctx, "personalized", -1)
 	e.m.misses.Add(1)
 	scores, stats, err := e.do(ctx, q, eng, &qo)
 	var res Result
@@ -778,7 +820,7 @@ func (e *Executor) TopK(ctx context.Context, seed, k int) ([]core.Ranked, Result
 	if e.cfg.FullSolveTopK || k <= 0 || k >= eng.N() {
 		return e.TopKFull(ctx, seed, k)
 	}
-	qo := e.startQuery("topk", seed)
+	qo := e.startQuery(ctx, "topk", seed)
 	top, res, err := e.runTopK(ctx, seed, k, eng, gen, &qo)
 	e.finish(&qo, "topk", seed, &res, err)
 	return top, res, err
@@ -798,7 +840,7 @@ func (e *Executor) TopKFull(ctx context.Context, seed, k int) ([]core.Ranked, Re
 	if seed < 0 || seed >= eng.N() {
 		return nil, Result{}, fmt.Errorf("qexec: seed %d out of range [0,%d)", seed, eng.N())
 	}
-	qo := e.startQuery("query", seed)
+	qo := e.startQuery(ctx, "query", seed)
 	res, err := e.run(ctx, seed, eng, gen, &qo)
 	if err != nil {
 		e.finish(&qo, "query", seed, &res, err)

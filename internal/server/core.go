@@ -7,12 +7,15 @@ import (
 	"hash/fnv"
 	"math"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bepi"
 	"bepi/internal/core"
+	"bepi/internal/obs"
 	"bepi/internal/qexec"
 )
 
@@ -72,7 +75,70 @@ func NewDynamicCore(d *bepi.Dynamic, cfg qexec.Config) *Core {
 		c.recordHash(c.exec.Generation(), eng)
 		c.exec.Observer().Rebuild.Observe(rebuild.Seconds())
 	})
+	// Flight-recorder events for rebuild outcomes. OnSwap covers the
+	// engine-swap bookkeeping above; OnRebuild additionally fires for
+	// failed rebuilds, which never swap but are exactly what an incident
+	// review needs to see.
+	d.OnRebuild(func(id, gen uint64, rebuild time.Duration, err error) {
+		ev := c.exec.Observer().Events
+		fields := map[string]string{
+			"id":         strconv.FormatUint(id, 10),
+			"generation": strconv.FormatUint(gen, 10),
+			"duration":   rebuild.String(),
+		}
+		if err != nil {
+			fields["error"] = err.Error()
+			ev.Record("rebuild_fail", "", fields)
+			return
+		}
+		ev.Record("rebuild_swap", "", fields)
+	})
 	return c
+}
+
+// BuildInfo reports the running build's identity: module version, Go
+// toolchain, and whether the serving engine uses the compact (CSR32) matrix
+// layout.
+func (c *Core) BuildInfo() obs.BuildInfo {
+	compact := "off"
+	if c.Engine().Internal().Compacted() {
+		compact = "on"
+	}
+	return obs.BuildInfo{Version: bepi.Version, GoVersion: runtime.Version(), Compact: compact}
+}
+
+// MetricsSnapshot exports this core's metrics in the mergeable form the
+// cluster coordinator aggregates: every observer histogram keyed by its
+// Prometheus family name, the cumulative counters, and build identity.
+// Served at GET /metrics/snapshot.
+func (c *Core) MetricsSnapshot() obs.MetricsSnapshot {
+	o := c.exec.Observer()
+	xm := c.exec.Metrics()
+	var slow int64
+	if o.SlowLog != nil {
+		slow = o.SlowLog.Count()
+	}
+	return obs.MetricsSnapshot{
+		TakenAt:    time.Now(),
+		Histograms: o.HistogramSnapshots(),
+		Counters: map[string]int64{
+			"queries":           c.queries.Load(),
+			"personalized":      c.personalized.Load(),
+			"errors":            c.errors.Load(),
+			"cache_hits":        xm.CacheHits,
+			"cache_misses":      xm.CacheMisses,
+			"coalesced":         xm.Coalesced,
+			"shed":              xm.Shed,
+			"engine_swaps":      xm.EngineSwaps,
+			"solve_panics":      xm.SolvePanics,
+			"topk_solves":       xm.TopKSolves,
+			"topk_early_stops":  xm.EarlyStops,
+			"slow_queries":      slow,
+			"solver_iterations": o.SolverIters.Load(),
+			"kernel_bytes":      o.KernelBytes.Load(),
+		},
+		Build: c.BuildInfo(),
+	}
 }
 
 // Engine snapshots the currently serving engine.

@@ -137,7 +137,14 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rb := s.core.dyn.StartFlush()
-	writeJSON(w, http.StatusAccepted, rebuildJSON(rb.Status()))
+	st := rb.Status()
+	// Flight-recorder bookend: rebuild_start here, rebuild_swap/rebuild_fail
+	// from the OnRebuild hook when the background build resolves.
+	s.core.exec.Observer().Events.Record("rebuild_start", "", map[string]string{
+		"id":      strconv.FormatUint(st.ID, 10),
+		"applied": strconv.Itoa(st.Applied),
+	})
+	writeJSON(w, http.StatusAccepted, rebuildJSON(st))
 }
 
 func (s *Server) handleFlushStatus(w http.ResponseWriter, r *http.Request) {

@@ -37,6 +37,13 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) writeProm(p *obs.PromWriter) {
+	// Build identity and (degenerate single-process) ring shape, so fleet
+	// dashboards can target shards and coordinators with the same queries.
+	obs.WriteBuildInfo(p, s.core.BuildInfo())
+	p.Gauge("bepi_ring_members", "Replicas on the consistent-hash ring (1 for a standalone shard).", 1)
+	p.GaugeVec("bepi_shard_healthy", "1 when the shard is serving (per-shard from the coordinator).", "shard",
+		map[string]float64{"local": 1})
+
 	// Served traffic.
 	p.Counter("bepi_queries_total", "Single-seed queries served.", float64(s.core.queries.Load()))
 	p.Counter("bepi_personalized_total", "Personalized (multi-seed) queries served.", float64(s.core.personalized.Load()))
@@ -135,27 +142,96 @@ type TraceResponse struct {
 	Traces []obs.Trace `json:"traces"`
 }
 
-// handleTraces serves the most recent finished query traces, newest first.
-// `?n=` bounds the count (default 50, capped by the ring size).
-func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	n := 50
+// maxDebugItems caps how many traces or events one debug request returns,
+// whatever ?n= asks for — debug endpoints must never serialize an unbounded
+// response while the serving path is under load.
+const maxDebugItems = 512
+
+// debugCount parses the `?n=` item count for a debug endpoint: default def,
+// hard-capped at maxDebugItems. The bool is false (after a 400 was written)
+// when the parameter is malformed.
+func debugCount(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	n := def
 	if v := r.URL.Query().Get("n"); v != "" {
 		var err error
 		n, err = strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeError(w, http.StatusBadRequest, "bad n %q", v)
-			return
+			return 0, false
 		}
 	}
-	traces := s.core.exec.Observer().Tracer.Recent(n)
+	if n == 0 || n > maxDebugItems {
+		n = maxDebugItems
+	}
+	return n, true
+}
+
+// handleTraces serves finished query traces, newest first. `?n=` bounds the
+// count (default 50, hard cap maxDebugItems); `?trace=ID` filters to the
+// records of one distributed trace (the shape the cluster coordinator
+// fetches when assembling a cross-process trace tree).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if r.Context().Err() != nil {
+		return // client already gone: skip the ring scan and the write
+	}
+	n, ok := debugCount(w, r, 50)
+	if !ok {
+		return
+	}
+	tracer := s.core.exec.Observer().Tracer
+	var traces []obs.Trace
+	if id := r.URL.Query().Get("trace"); id != "" {
+		traces = tracer.ByTraceID(id, n)
+	} else {
+		traces = tracer.Recent(n)
+	}
 	if traces == nil {
 		traces = []obs.Trace{} // tracing disabled: an empty list, not null
 	}
 	writeJSON(w, http.StatusOK, TraceResponse{Count: len(traces), Traces: traces})
+}
+
+// EventResponse is the /debug/events payload.
+type EventResponse struct {
+	Count  int         `json:"count"`
+	Events []obs.Event `json:"events"`
+}
+
+// handleEvents serves the flight recorder: recent structured operational
+// events, newest first. `?n=` bounds the count (default 100, hard cap
+// maxDebugItems).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	n, ok := debugCount(w, r, 100)
+	if !ok {
+		return
+	}
+	events := s.core.exec.Observer().Events.Recent(n)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, EventResponse{Count: len(events), Events: events})
+}
+
+// handleMetricsSnapshot serves this process's mergeable metrics export — the
+// payload the cluster coordinator fetches and folds into fleet-wide
+// quantiles.
+func (s *Server) handleMetricsSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.core.MetricsSnapshot())
 }
 
 // LatencySummary is the JSON quantile summary of one latency histogram.

@@ -22,11 +22,18 @@
 //	                                       Prometheus text when Accept says
 //	                                       text/plain or ?format=prometheus)
 //	GET  /metrics.prom                     always Prometheus text format
+//	GET  /metrics/snapshot                 mergeable metrics snapshot (JSON;
+//	                                       fetched by the cluster coordinator
+//	                                       for fleet-wide aggregation)
 //	GET  /debug/traces?n=K                 recent per-query stage traces
+//	GET  /debug/traces?trace=ID            traces belonging to one trace ID
+//	GET  /debug/events?n=K                 flight-recorder events, newest first
 //	GET  /query?seed=N&topk=K              top-K ranking for a seed (bound-pruned)
 //	GET  /query?seed=N&topk=K&exact=true   same set from a full-tolerance solve
 //	GET  /query?seed=N&full=true           the full score vector
 //	GET  /query?seed=N&debug=1             adds solver/stage detail
+//	GET  /query?seed=N&trace=1             forces a trace; the X-Bepi-Trace
+//	                                       response header carries its ID
 //	POST /personalized {"weights":{...}}   multi-seed PPR ranking
 package server
 
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"bepi"
+	"bepi/internal/obs"
 	"bepi/internal/qexec"
 )
 
@@ -78,7 +86,9 @@ func NewFromCore(c *Core) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("/metrics/snapshot", s.handleMetricsSnapshot)
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/events", s.handleEvents)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/personalized", s.handlePersonalized)
 	s.mux.HandleFunc("/edges", s.handleEdges)
@@ -260,12 +270,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, err := s.core.Query(r.Context(), req)
+	ctx, traceID := traceContext(r)
+	if traceID != "" {
+		w.Header().Set(obs.TraceHeader, traceID)
+	}
+	resp, err := s.core.Query(ctx, req)
 	if err != nil {
 		s.failCore(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// traceContext resolves the request's tracing context. A propagated
+// X-Bepi-Trace header wins: the upstream root already decided this request is
+// traced, and the executor adopts its trace ID so the shard's spans join the
+// caller's tree. Otherwise ?trace=1 mints a fresh trace ID, making a single
+// ad-hoc request traceable regardless of the sampling rate. The returned
+// trace ID (if any) is echoed back in the X-Bepi-Trace response header so the
+// caller knows what to ask /debug/traces?trace=<id> for.
+func traceContext(r *http.Request) (context.Context, string) {
+	ctx := r.Context()
+	if tc, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+		return obs.WithTrace(ctx, tc), tc.TraceID
+	}
+	if r.URL.Query().Get("trace") == "1" {
+		tc := obs.TraceContext{TraceID: obs.NewTraceID()}
+		return obs.WithTrace(ctx, tc), tc.TraceID
+	}
+	return ctx, ""
 }
 
 // PersonalizedRequest is the /personalized request body.
@@ -294,7 +327,11 @@ func (s *Server) handlePersonalized(w http.ResponseWriter, r *http.Request) {
 		}
 		weights[node] = v
 	}
-	resp, err := s.core.Personalized(r.Context(), weights, req.TopK)
+	ctx, traceID := traceContext(r)
+	if traceID != "" {
+		w.Header().Set(obs.TraceHeader, traceID)
+	}
+	resp, err := s.core.Personalized(ctx, weights, req.TopK)
 	if err != nil {
 		s.failCore(w, err)
 		return
