@@ -4,7 +4,7 @@ GO ?= go
 PROFILE_ADDR ?= localhost:6060
 PROFILE_SECONDS ?= 15
 
-.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-dynamic bench-serving bench-topk bench-obs profile
+.PHONY: build test race race-par vet lint check bench bench-par bench-kernels bench-spmv bench-dynamic bench-serving bench-topk bench-obs profile
 
 build:
 	$(GO) build ./...
@@ -46,9 +46,11 @@ race:
 # and the bounded top-k search (solver StopWhen/Probe hooks, set-equality
 # property tests, qexec k-class batching under concurrent load), and the
 # observability layer (lock-free event ring, trace propagation across
-# HTTP backends during engine swaps, histogram snapshot merging).
+# HTTP backends during engine swaps, histogram snapshot merging), and the
+# latency-hiding kernel layer (RHS-interleaved batch multiply, the prefetch
+# knob, sticky first-touch pools, the STREAM probe).
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen|Trace|Merge|Event|Snapshot' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen|Trace|Merge|Event|Snapshot|Interleav|Prefetch|Sticky|Stream' \
 		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
 		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/ \
 		./internal/solver/
@@ -75,6 +77,14 @@ bench-kernels:
 	$(GO) test -run '^$$' -bench BenchmarkSchurOperator -benchtime=100x -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkILUApplyLevels -benchtime=100x -benchmem ./internal/lu/
 	$(GO) test -run '^$$' -bench BenchmarkCSR32MulVec -benchtime=100x -benchmem ./internal/sparse/
+
+# Smoke-run the latency-hiding SpMV benchmarks: the RHS-interleaved batch
+# kernel against its frozen row-outer baseline across widths/layouts/worker
+# counts, and the gather prefetch-distance sweep. CI runs it so a batch
+# kernel regression (or a prefetch path that stops compiling on some
+# GOARCH) shows up immediately.
+bench-spmv:
+	$(GO) test -run '^$$' -bench 'BenchmarkMulVecBatchInterleaved|BenchmarkPrefetchDistance' -benchtime=20x ./internal/sparse/
 
 # Smoke-run the dynamic-rebuild experiment on a small R-MAT graph: queries
 # keep answering while a background flush re-preprocesses, and the table

@@ -202,6 +202,15 @@ func WithParallelism(n int) Option {
 	return func(o *core.Options) { o.Parallelism = n }
 }
 
+// WithPinnedWorkers locks the engine's dedicated kernel workers to OS
+// threads (effective with WithParallelism(n), n > 1): combined with the
+// engine's first-touch partition placement this keeps each worker streaming
+// the matrix pages it faulted in — the NUMA-friendly sticky configuration.
+// Results are bit-identical either way.
+func WithPinnedWorkers(on bool) Option {
+	return func(o *core.Options) { o.PinWorkers = on }
+}
+
 // WithCompact selects the in-memory matrix layout: true (the default) keeps
 // the preprocessed matrices in the compact CSR32 form (uint32 column
 // indices, narrow row pointers — roughly half the index bytes), false keeps

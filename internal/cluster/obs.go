@@ -12,6 +12,7 @@ import (
 	"bepi"
 	"bepi/internal/obs"
 	"bepi/internal/server"
+	"bepi/internal/sparse"
 )
 
 // maxDebugItems caps how many traces or events one coordinator debug
@@ -229,6 +230,42 @@ type FleetMetrics struct {
 	// MismatchedFamilies lists histogram families dropped from the merge
 	// because shards disagreed on bucket bounds (a mixed-version fleet).
 	MismatchedFamilies []string `json:"mismatched_families,omitempty"`
+	// Kernel is the fleet-merged achieved-bandwidth view: summed kernel
+	// bytes over summed kernel seconds from the shard snapshots, judged
+	// against the coordinator host's own STREAM roof (shards may differ;
+	// per-shard roofs live on the shards' /metrics).
+	Kernel *KernelBandwidth `json:"kernel,omitempty"`
+}
+
+// KernelBandwidth is the fleet-level kernel bandwidth summary.
+type KernelBandwidth struct {
+	Bytes               int64   `json:"bytes"`
+	Seconds             float64 `json:"seconds"`
+	AchievedBytesPerSec float64 `json:"achieved_bytes_per_second"`
+	StreamBytesPerSec   float64 `json:"stream_bytes_per_second"`
+	PctOfStream         float64 `json:"pct_of_stream"`
+}
+
+// kernelBandwidth derives the fleet kernel summary from merged snapshot
+// counters (nil when no shard reported kernel counters).
+func kernelBandwidth(merged obs.MetricsSnapshot) *KernelBandwidth {
+	bytes := merged.Counters["kernel_bytes"]
+	ns := merged.Counters["kernel_seconds_ns"]
+	if bytes == 0 && ns == 0 {
+		return nil
+	}
+	k := &KernelBandwidth{
+		Bytes:             bytes,
+		Seconds:           float64(ns) / 1e9,
+		StreamBytesPerSec: sparse.StreamBandwidth(),
+	}
+	if ns > 0 {
+		k.AchievedBytesPerSec = float64(bytes) / (float64(ns) / 1e9)
+	}
+	if k.StreamBytesPerSec > 0 {
+		k.PctOfStream = 100 * k.AchievedBytesPerSec / k.StreamBytesPerSec
+	}
+	return k
 }
 
 func quantilesOf(shard string, s obs.HistSnapshot) ShardQuantiles {
@@ -250,6 +287,7 @@ func fleetMetrics(snaps []obs.MetricsSnapshot) *FleetMetrics {
 	fm := &FleetMetrics{
 		Merged:             quantilesOf("", merged.Histograms[obs.FamilyQueryLatency]),
 		MismatchedFamilies: mismatched,
+		Kernel:             kernelBandwidth(merged),
 	}
 	for _, s := range snaps {
 		fm.Shards = append(fm.Shards, quantilesOf(s.Replica, s.Histograms[obs.FamilyQueryLatency]))
@@ -292,6 +330,13 @@ func (h *Handler) writeFleetProm(p *obs.PromWriter, snaps []obs.MetricsSnapshot)
 		return
 	}
 	merged, _ := obs.MergeMetricsSnapshots(snaps)
+	// Fleet-merged achieved kernel bandwidth: summed bytes over summed
+	// seconds across shards. The STREAM roof is the coordinator host's own
+	// probe — a like-for-like fraction only on homogeneous fleets.
+	if k := kernelBandwidth(merged); k != nil {
+		p.Gauge("bepi_kernel_achieved_bytes_per_second", "Fleet-merged achieved solve-kernel bandwidth (summed bytes over summed seconds).", k.AchievedBytesPerSec)
+		p.Gauge("bepi_stream_bytes_per_second", "Measured STREAM-triad roof of the coordinator host.", k.StreamBytesPerSec)
+	}
 	p50 := make(map[string]float64, len(snaps))
 	p99 := make(map[string]float64, len(snaps))
 	for _, s := range snaps {

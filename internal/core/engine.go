@@ -94,6 +94,13 @@ type Options struct {
 	// engine its own n-worker pool. Parallel and serial execution produce
 	// bit-identical results.
 	Parallelism int
+	// PinWorkers, with Parallelism > 1, locks each of the engine's
+	// dedicated pool workers to an OS thread (runtime.LockOSThread), so the
+	// scheduler cannot migrate a worker between first-touching its matrix
+	// partition (FirstTouch) and streaming it on later applies — the
+	// NUMA-friendly sticky placement. Ignored for the shared pool
+	// (Parallelism == 0) and for serial execution. Results are unaffected.
+	PinWorkers bool
 	// Compact selects the storage layout of the preprocessed matrices
 	// (H12/H21/H31/H32, the Schur complement, and the ILU factors).
 	// CompactAuto — the zero value, i.e. the default — narrows the index
@@ -287,13 +294,15 @@ func (e *Engine) SetKernelHook(f func(kernel string, seconds float64, bytes int6
 }
 
 // poolFor resolves the Parallelism option to a pool: 0 shares the
-// process-wide pool, 1 is serial (nil pool), n > 1 is a dedicated pool.
-func poolFor(parallelism int) *par.Pool {
+// process-wide pool, 1 is serial (nil pool), n > 1 is a dedicated sticky
+// pool — persistent workers with a deterministic chunk assignment, locked
+// to OS threads when pin is set.
+func poolFor(parallelism int, pin bool) *par.Pool {
 	switch {
 	case parallelism == 1:
 		return nil
 	case parallelism > 1:
-		return par.NewPool(parallelism)
+		return par.NewStickyPool(parallelism, pin)
 	default:
 		return par.Shared()
 	}
@@ -301,17 +310,29 @@ func poolFor(parallelism int) *par.Pool {
 
 // attachPool points every stored matrix (and the ILU factors) at the
 // engine's pool so the query-path SpMVs and triangular sweeps
-// row-partition across it.
+// row-partition across it, then first-touches each matrix: the row
+// partition is cached, and on a sticky pool each worker rewrites its own
+// partition segment so the pages it will stream every apply are placed
+// local to it.
 func (e *Engine) attachPool() {
 	for _, m := range []mat{e.h12, e.h21, e.h31, e.h32, e.schur, e.h22} {
 		if m != nil {
 			matSetPool(m, e.pool)
+			matFirstTouch(m)
 		}
 	}
 	if e.ilu != nil {
 		e.ilu.SetPool(e.pool)
 	}
 	e.prep.Workers = e.pool.Workers()
+}
+
+// WarmupKernels runs the process-wide kernel calibrations an engine's hot
+// paths depend on: the prefetch-distance micro-probe (unless a distance was
+// set explicitly). Executors call it once at construction; it is cheap
+// after the first call.
+func WarmupKernels() {
+	sparse.AutoTunePrefetch()
 }
 
 // setCompactMatrices converts every stored matrix (and the ILU factors)
@@ -365,8 +386,22 @@ func (e *Engine) Compacted() bool {
 // it must not race with in-flight queries.
 func (e *Engine) SetParallelism(n int) {
 	e.opts.Parallelism = n
-	e.pool = poolFor(n)
+	e.pool = poolFor(n, e.opts.PinWorkers)
 	e.attachPool()
+}
+
+// SetPinWorkers records the worker-pinning preference (Options.PinWorkers)
+// and, when the engine runs a dedicated pool, rebuilds it accordingly. Call
+// before serving queries; it must not race with in-flight solves.
+func (e *Engine) SetPinWorkers(on bool) {
+	if e.opts.PinWorkers == on {
+		return
+	}
+	e.opts.PinWorkers = on
+	if e.opts.Parallelism > 1 {
+		e.pool = poolFor(e.opts.Parallelism, on)
+		e.attachPool()
+	}
 }
 
 // Pool exposes the engine's compute pool (nil means serial).
@@ -384,7 +419,7 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 		return nil
 	}
 
-	e := &Engine{opts: opts, n: g.N(), pool: poolFor(opts.Parallelism)}
+	e := &Engine{opts: opts, n: g.N(), pool: poolFor(opts.Parallelism, opts.PinWorkers)}
 	e.prep.N, e.prep.M = g.N(), g.M()
 	e.prep.HubRatio = opts.HubRatio
 	e.prep.Workers = e.pool.Workers()

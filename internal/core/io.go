@@ -222,7 +222,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	// index format: a loaded engine starts on the shared process-wide pool
 	// with compacted indexes (the CompactAuto default); callers tune both
 	// with SetParallelism / SetCompact before serving.
-	e.pool = poolFor(0)
+	e.pool = poolFor(0, false)
 	e.setCompactMatrices(true)
 	return e, nil
 }

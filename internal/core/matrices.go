@@ -46,6 +46,18 @@ func matSetPool(m mat, p *par.Pool) {
 	}
 }
 
+// matFirstTouch caches a stored matrix's parallel partition and, on a
+// sticky pool, first-touches its partition segments from their owning
+// workers; see sparse.CSR.FirstTouch.
+func matFirstTouch(m mat) {
+	switch v := m.(type) {
+	case *sparse.CSR:
+		v.FirstTouch()
+	case *sparse.CSR32:
+		v.FirstTouch()
+	}
+}
+
 // fitsCompact reports whether a matrix's dimensions fit the uint32 index
 // range of the compact layout.
 func fitsCompact(m mat) bool {

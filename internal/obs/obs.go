@@ -87,6 +87,13 @@ type Observer struct {
 	// visible as a rate alongside the time histograms.
 	KernelBytes atomic.Int64
 
+	// KernelNanos accumulates the wall time of those same kernel
+	// applications. Pairing it with KernelBytes makes the achieved memory
+	// bandwidth (bytes over seconds) derivable at scrape time, locally or
+	// across fleet-merged snapshots, and comparable against the machine's
+	// measured STREAM roof.
+	KernelNanos atomic.Int64
+
 	// SolverIters counts solver iterations as they happen (incremented from
 	// the solver's per-iteration hook), so convergence progress of long
 	// solves is visible between queries.
@@ -106,6 +113,18 @@ type Observer struct {
 // Disabled is an observer with every sink turned off. Pass it where a nil
 // Observer would select the defaults instead.
 var Disabled = &Observer{}
+
+// AchievedBandwidth returns the cumulative achieved memory bandwidth of the
+// observed solve kernels in bytes/second — KernelBytes over KernelNanos —
+// or 0 before any kernel application was observed. Divide by the machine's
+// STREAM roof (sparse.StreamBandwidth) to judge kernels against hardware.
+func (o *Observer) AchievedBandwidth() float64 {
+	ns := o.KernelNanos.Load()
+	if ns <= 0 {
+		return 0
+	}
+	return float64(o.KernelBytes.Load()) / (float64(ns) / 1e9)
+}
 
 // Options configures New. Zero values select the defaults.
 type Options struct {

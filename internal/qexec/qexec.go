@@ -279,6 +279,10 @@ func New(eng *core.Engine, cfg Config) *Executor {
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
 	}
+	// Executor construction is serving warmup: calibrate the process-wide
+	// kernel knobs (prefetch distance) before query traffic arrives. Cheap
+	// after the first executor.
+	core.WarmupKernels()
 	return e
 }
 
@@ -302,6 +306,7 @@ func (e *Executor) attach(eng *core.Engine) {
 			e.obs.PrecondApply.Observe(seconds)
 		}
 		e.obs.KernelBytes.Add(bytes)
+		e.obs.KernelNanos.Add(int64(seconds * 1e9))
 	})
 }
 

@@ -17,6 +17,7 @@ import (
 	"bepi/internal/core"
 	"bepi/internal/obs"
 	"bepi/internal/qexec"
+	"bepi/internal/sparse"
 )
 
 // Core is the transport-agnostic serving core: the query/top-k/metrics
@@ -136,6 +137,7 @@ func (c *Core) MetricsSnapshot() obs.MetricsSnapshot {
 			"slow_queries":      slow,
 			"solver_iterations": o.SolverIters.Load(),
 			"kernel_bytes":      o.KernelBytes.Load(),
+			"kernel_seconds_ns": o.KernelNanos.Load(),
 		},
 		Build: c.BuildInfo(),
 	}
@@ -486,6 +488,28 @@ type MetricsResponse struct {
 
 	// Prep is the preprocessing stage/size breakdown (core.PrepStats).
 	Prep PrepMetrics `json:"prep"`
+
+	// Kernel is the achieved-bandwidth view of the solve kernels: bytes and
+	// seconds accumulated by the kernel hook, their ratio, and the measured
+	// STREAM roof it is judged against.
+	Kernel KernelMetrics `json:"kernel"`
+}
+
+// KernelMetrics reports how close the observed solve kernels run to the
+// machine's memory-bandwidth roof.
+type KernelMetrics struct {
+	// Bytes and Seconds accumulate over every observed Schur-operator and
+	// preconditioner application.
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	// AchievedBytesPerSec is Bytes/Seconds (0 before any kernel ran).
+	AchievedBytesPerSec float64 `json:"achieved_bytes_per_second"`
+	// StreamBytesPerSec is the host's one-shot STREAM-triad roof.
+	StreamBytesPerSec float64 `json:"stream_bytes_per_second"`
+	// PctOfStream is 100·Achieved/Stream.
+	PctOfStream float64 `json:"pct_of_stream"`
+	// PrefetchDistance is the gather prefetch lookahead in effect (0 = off).
+	PrefetchDistance int `json:"prefetch_distance"`
 }
 
 // Stats reports the index statistics (the /stats payload).
@@ -581,5 +605,22 @@ func (c *Core) Metrics() MetricsResponse {
 			HubRatio:    st.HubRatio,
 			Workers:     st.Workers,
 		},
+		Kernel: kernelMetrics(o),
 	}
+}
+
+// kernelMetrics assembles the achieved-vs-roof bandwidth view from the
+// observer's kernel counters and the process-wide probes.
+func kernelMetrics(o *obs.Observer) KernelMetrics {
+	k := KernelMetrics{
+		Bytes:               o.KernelBytes.Load(),
+		Seconds:             float64(o.KernelNanos.Load()) / 1e9,
+		AchievedBytesPerSec: o.AchievedBandwidth(),
+		StreamBytesPerSec:   sparse.StreamBandwidth(),
+		PrefetchDistance:    sparse.PrefetchDistance(),
+	}
+	if k.StreamBytesPerSec > 0 {
+		k.PctOfStream = 100 * k.AchievedBytesPerSec / k.StreamBytesPerSec
+	}
+	return k
 }

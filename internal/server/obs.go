@@ -7,6 +7,7 @@ import (
 
 	"bepi/internal/obs"
 	"bepi/internal/qexec"
+	"bepi/internal/sparse"
 )
 
 // wantsProm reports whether the /metrics request asked for the Prometheus
@@ -88,6 +89,9 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 		p.Histogram("bepi_precond_apply_seconds", "Wall time per ILU preconditioner application.", o.PrecondApply.Snapshot())
 	}
 	p.Counter("bepi_kernel_bytes_total", "Bytes streamed by the observed solve kernels.", float64(o.KernelBytes.Load()))
+	p.Counter("bepi_kernel_seconds_total", "Wall seconds spent in the observed solve kernels.", float64(o.KernelNanos.Load())/1e9)
+	p.Gauge("bepi_kernel_achieved_bytes_per_second", "Achieved memory bandwidth of the observed solve kernels (cumulative bytes over seconds).", o.AchievedBandwidth())
+	p.Gauge("bepi_stream_bytes_per_second", "Measured STREAM-triad memory-bandwidth roof of this host.", sparse.StreamBandwidth())
 
 	// Bounded top-k path.
 	p.Counter("bepi_topk_solves_total", "Queries solved through the bounded top-k path.", float64(xm.TopKSolves))

@@ -42,6 +42,9 @@ type CSR32 struct {
 	// tr is the cached transpose built by CacheTranspose; MulVecT runs as
 	// a (parallelizable) row-gather over it when present.
 	tr *CSR32
+	// bounds is the row partition cached by FirstTouch, exactly like
+	// CSR.bounds; SetPool invalidates it.
+	bounds []int
 }
 
 // Compact converts a CSR matrix into the compact layout, sharing the
@@ -171,8 +174,57 @@ func (m *CSR32) Float32Values() bool { return m.val32 != nil }
 // CSR.SetPool (parallel above ParallelMinNNZ, bit-identical results).
 func (m *CSR32) SetPool(p *par.Pool) *CSR32 {
 	m.pool = p
+	m.bounds = nil
 	if m.tr != nil {
-		m.tr.pool = p
+		m.tr.SetPool(p)
+	}
+	return m
+}
+
+// rowStart returns rowPtr[i] regardless of the pointer width in use.
+func (m *CSR32) rowStart(i int) int {
+	if m.rowPtr32 != nil {
+		return int(m.rowPtr32[i])
+	}
+	return int(m.rowPtr64[i])
+}
+
+// FirstTouch caches the row partition and, on a sticky pool, rewrites each
+// partition's index/value segments from its owning worker — semantics match
+// CSR.FirstTouch. The rebuilt slices hold identical contents, so the
+// layout's immutability contract (values and pattern never change) is kept.
+func (m *CSR32) FirstTouch() *CSR32 {
+	m.bounds = nil
+	if bounds, ok := m.parBounds(); ok {
+		if m.pool.Sticky() {
+			col := make([]uint32, len(m.col))
+			var val []float64
+			var val32 []float32
+			if m.val != nil {
+				val = make([]float64, len(m.val))
+			} else {
+				val32 = make([]float32, len(m.val32))
+			}
+			m.pool.ForBounds(bounds, func(_, lo, hi int) {
+				s, e := m.rowStart(lo), m.rowStart(hi)
+				copy(col[s:e], m.col[s:e])
+				if val != nil {
+					copy(val[s:e], m.val[s:e])
+				} else {
+					copy(val32[s:e], m.val32[s:e])
+				}
+			})
+			m.col = col
+			if val != nil {
+				m.val = val
+			} else {
+				m.val32 = val32
+			}
+		}
+		m.bounds = bounds
+	}
+	if m.tr != nil {
+		m.tr.FirstTouch()
 	}
 	return m
 }
@@ -206,6 +258,27 @@ func (m *CSR32) parBounds() ([]int, bool) {
 	if m.pool.Workers() <= 1 || len(m.col) < ParallelMinNNZ || m.rows < 2 {
 		return nil, false
 	}
+	if m.bounds != nil {
+		return m.bounds, true
+	}
+	if m.rowPtr32 != nil {
+		return par.BoundsByPrefixOf(m.rowPtr32, m.pool.Workers()), true
+	}
+	return par.BoundsByPrefixOf(m.rowPtr64, m.pool.Workers()), true
+}
+
+// batchParBounds mirrors CSR.batchParBounds: the parallel threshold scales
+// with the batch width, since a K-RHS batch does K× the work per entry.
+func (m *CSR32) batchParBounds(width int) ([]int, bool) {
+	if width < 1 {
+		width = 1
+	}
+	if m.pool.Workers() <= 1 || len(m.col)*width < ParallelMinNNZ || m.rows < 2 {
+		return nil, false
+	}
+	if m.bounds != nil {
+		return m.bounds, true
+	}
 	if m.rowPtr32 != nil {
 		return par.BoundsByPrefixOf(m.rowPtr32, m.pool.Workers()), true
 	}
@@ -213,86 +286,35 @@ func (m *CSR32) parBounds() ([]int, bool) {
 }
 
 // The range kernels are generic over (row-pointer width × value width) so
-// the four layout combinations share one loop body each. Instantiated with
-// V = float64 the conversion is the identity and the compiled loop performs
-// the exact CSR operation sequence.
-
-// The gather kernels mirror CSR's four-lane accumulation exactly — same
-// stride-4 lanes, remainder into lane 0, combined as (s0+s1)+(s2+s3) — so
-// the float64 instantiations stay bit-identical to the CSR kernels.
+// the four layout combinations share one loop body each, delegating the
+// per-row accumulation to the shared gather kernels (kernels.go).
+// Instantiated with V = float64 the conversion is the identity and the
+// compiled loop performs the exact CSR operation sequence, which is what
+// keeps the float64 layouts bit-identical to CSR.
 
 func mulVecRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
 		start, end := rowPtr[i], rowPtr[i+1]
-		cols := col[start:end]
-		vals := val[start:end]
-		var s0, s1, s2, s3 float64
-		p := 0
-		for ; p+4 <= len(cols); p += 4 {
-			s0 += float64(vals[p]) * x[cols[p]]
-			s1 += float64(vals[p+1]) * x[cols[p+1]]
-			s2 += float64(vals[p+2]) * x[cols[p+2]]
-			s3 += float64(vals[p+3]) * x[cols[p+3]]
-		}
-		for ; p < len(cols); p++ {
-			s0 += float64(vals[p]) * x[cols[p]]
-		}
-		dst[i] = (s0 + s1) + (s2 + s3)
+		dst[i] = gatherRow4(col[start:end], val[start:end], x, d)
 	}
 }
 
 // mulVecRangeSeq32 is the sequential per-row gather reserved for the
 // cached-transpose MulVecT path, matching the scatter's addition order.
 func mulVecRangeSeq32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
-		var s float64
-		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
-			s += float64(val[p]) * x[col[p]]
-		}
-		dst[i] = s
+		start, end := rowPtr[i], rowPtr[i+1]
+		dst[i] = gatherRowSeq(col[start:end], val[start:end], x, d)
 	}
 }
 
 func addMulVecRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst []float64, alpha float64, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
 		start, end := rowPtr[i], rowPtr[i+1]
-		cols := col[start:end]
-		vals := val[start:end]
-		var s0, s1, s2, s3 float64
-		p := 0
-		for ; p+4 <= len(cols); p += 4 {
-			s0 += float64(vals[p]) * x[cols[p]]
-			s1 += float64(vals[p+1]) * x[cols[p+1]]
-			s2 += float64(vals[p+2]) * x[cols[p+2]]
-			s3 += float64(vals[p+3]) * x[cols[p+3]]
-		}
-		for ; p < len(cols); p++ {
-			s0 += float64(vals[p]) * x[cols[p]]
-		}
-		dst[i] += alpha * ((s0 + s1) + (s2 + s3))
-	}
-}
-
-func mulVecBatchRange32[P int32 | int64, V float32 | float64](rowPtr []P, col []uint32, val []V, dst, x [][]float64, rlo, rhi int) {
-	for i := rlo; i < rhi; i++ {
-		lo, hi := rowPtr[i], rowPtr[i+1]
-		cols := col[lo:hi]
-		vals := val[lo:hi]
-		for k := range x {
-			xk := x[k]
-			var s0, s1, s2, s3 float64
-			p := 0
-			for ; p+4 <= len(cols); p += 4 {
-				s0 += float64(vals[p]) * xk[cols[p]]
-				s1 += float64(vals[p+1]) * xk[cols[p+1]]
-				s2 += float64(vals[p+2]) * xk[cols[p+2]]
-				s3 += float64(vals[p+3]) * xk[cols[p+3]]
-			}
-			for ; p < len(cols); p++ {
-				s0 += float64(vals[p]) * xk[cols[p]]
-			}
-			dst[k][i] = (s0 + s1) + (s2 + s3)
-		}
+		dst[i] += alpha * gatherRow4(col[start:end], val[start:end], x, d)
 	}
 }
 
@@ -353,13 +375,13 @@ func (m *CSR32) addMulVecRange(dst []float64, alpha float64, x []float64, lo, hi
 func (m *CSR32) mulVecBatchRange(dst, x [][]float64, rlo, rhi int) {
 	switch {
 	case m.rowPtr32 != nil && m.val != nil:
-		mulVecBatchRange32(m.rowPtr32, m.col, m.val, dst, x, rlo, rhi)
+		mulVecBatchRows(m.rowPtr32, m.col, m.val, dst, x, rlo, rhi)
 	case m.rowPtr32 != nil:
-		mulVecBatchRange32(m.rowPtr32, m.col, m.val32, dst, x, rlo, rhi)
+		mulVecBatchRows(m.rowPtr32, m.col, m.val32, dst, x, rlo, rhi)
 	case m.val != nil:
-		mulVecBatchRange32(m.rowPtr64, m.col, m.val, dst, x, rlo, rhi)
+		mulVecBatchRows(m.rowPtr64, m.col, m.val, dst, x, rlo, rhi)
 	default:
-		mulVecBatchRange32(m.rowPtr64, m.col, m.val32, dst, x, rlo, rhi)
+		mulVecBatchRows(m.rowPtr64, m.col, m.val32, dst, x, rlo, rhi)
 	}
 }
 
@@ -377,8 +399,9 @@ func (m *CSR32) MulVec(dst, x []float64) {
 }
 
 // MulVecBatch computes dst[k] = M·x[k] for every right-hand side, row-outer
-// like CSR.MulVecBatch so the compact index arrays are streamed once per
-// batch rather than once per vector.
+// and RHS-interleaved like CSR.MulVecBatch: the compact index arrays are
+// streamed once per batch, with groups of four RHS sharing each loaded
+// entry, and every output bit-identical to MulVec per RHS.
 func (m *CSR32) MulVecBatch(dst, x [][]float64) {
 	if len(dst) != len(x) {
 		panic(fmt.Sprintf("sparse: MulVecBatch got %d dst vectors for %d rhs", len(dst), len(x)))
@@ -389,7 +412,7 @@ func (m *CSR32) MulVecBatch(dst, x [][]float64) {
 				len(dst[k]), len(x[k]), m.rows, m.cols))
 		}
 	}
-	if bounds, ok := m.parBounds(); ok {
+	if bounds, ok := m.batchParBounds(len(x)); ok {
 		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecBatchRange(dst, x, lo, hi) })
 		return
 	}

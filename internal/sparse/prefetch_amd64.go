@@ -1,0 +1,12 @@
+//go:build amd64
+
+package sparse
+
+import "unsafe"
+
+// prefetchT0 issues a PREFETCHT0 hint for the cache line holding p: pull it
+// into all cache levels without stalling. Purely a hint — no fault, no
+// architectural effect — so kernels stay bit-identical with it on or off.
+//
+//go:noescape
+func prefetchT0(p unsafe.Pointer)

@@ -1,0 +1,7 @@
+#include "textflag.h"
+
+// func prefetchT0(p unsafe.Pointer)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHT0 (AX)
+	RET

@@ -1,0 +1,12 @@
+//go:build arm64
+
+package sparse
+
+import "unsafe"
+
+// prefetchT0 issues a PRFM PLDL1KEEP hint for the cache line holding p.
+// Purely a hint — no fault, no architectural effect — so kernels stay
+// bit-identical with it on or off.
+//
+//go:noescape
+func prefetchT0(p unsafe.Pointer)

@@ -1,0 +1,7 @@
+#include "textflag.h"
+
+// func prefetchT0(p unsafe.Pointer)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVD p+0(FP), R0
+	PRFM (R0), PLDL1KEEP
+	RET

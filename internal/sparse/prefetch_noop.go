@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package sparse
+
+import "unsafe"
+
+// prefetchT0 is a no-op on architectures without a wired prefetch hint; the
+// distance-D kernels then pay only the (predictable) guard branch.
+func prefetchT0(p unsafe.Pointer) { _ = p }

@@ -1,0 +1,153 @@
+package sparse
+
+import (
+	"testing"
+
+	"bepi/internal/par"
+)
+
+// TestPrefetchBitIdentical sweeps the prefetch knob across every kernel the
+// hint reaches: a prefetch is advisory to the cache, so results at any
+// distance must match distance 0 by representation, serially and in
+// parallel.
+func TestPrefetchBitIdentical(t *testing.T) {
+	defer resetPrefetchForTest()
+	m := randBigCSR(2000, 1700, 15, 66)
+	x := randVec(m.Cols(), 2)
+	xt := randVec(m.Rows(), 3)
+	const batch = 5
+	xb := make([][]float64, batch)
+	for k := range xb {
+		xb[k] = randVec(m.Cols(), int64(20+k))
+	}
+
+	type outputs struct {
+		mul, add, trT []float64
+		bat           [][]float64
+	}
+	apply := func(m *CSR) outputs {
+		var o outputs
+		o.mul = make([]float64, m.Rows())
+		m.MulVec(o.mul, x)
+		o.add = randVec(m.Rows(), 4) // same seed every call: same initial dst
+		m.AddMulVec(o.add, 0.7, x)
+		o.trT = make([]float64, m.Cols())
+		m.MulVecT(o.trT, xt)
+		o.bat = make([][]float64, batch)
+		for k := range o.bat {
+			o.bat[k] = make([]float64, m.Rows())
+		}
+		m.MulVecBatch(o.bat, xb)
+		return o
+	}
+	check := func(t *testing.T, d int, got, want outputs) {
+		t.Helper()
+		for name, pair := range map[string][2][]float64{
+			"MulVec":    {got.mul, want.mul},
+			"AddMulVec": {got.add, want.add},
+			"MulVecT":   {got.trT, want.trT},
+		} {
+			if i, ok := bitsEqual(pair[0], pair[1]); !ok {
+				t.Fatalf("distance=%d %s differs at %d", d, name, i)
+			}
+		}
+		for k := range got.bat {
+			if i, ok := bitsEqual(got.bat[k], want.bat[k]); !ok {
+				t.Fatalf("distance=%d MulVecBatch rhs %d differs at %d", d, k, i)
+			}
+		}
+	}
+
+	SetPrefetchDistance(0)
+	want := apply(m)
+	for _, d := range []int{4, 8, 16, 32, 64} {
+		SetPrefetchDistance(d)
+		check(t, d, apply(m), want)
+		// Parallel, both layouts, with the cached-transpose gather active.
+		p := m.Clone().SetPool(par.NewPool(4))
+		p.CacheTranspose()
+		check(t, d, apply(p), want)
+		c32 := Compact(m.Clone()).SetPool(par.NewPool(4))
+		c32.CacheTranspose()
+		gotT := make([]float64, m.Cols())
+		c32.MulVecT(gotT, xt)
+		// CSR32 transpose-gather vs the CSR scatter reference: == semantics
+		// (zero signs may differ), like the layout contract elsewhere.
+		for j := range gotT {
+			if gotT[j] != want.trT[j] {
+				t.Fatalf("distance=%d CSR32 MulVecT[%d] = %v, want %v", d, j, gotT[j], want.trT[j])
+			}
+		}
+		gotB := make([][]float64, batch)
+		for k := range gotB {
+			gotB[k] = make([]float64, m.Rows())
+		}
+		c32.MulVecBatch(gotB, xb)
+		for k := range gotB {
+			if i, ok := bitsEqual(gotB[k], want.bat[k]); !ok {
+				t.Fatalf("distance=%d CSR32 MulVecBatch rhs %d differs at %d", d, k, i)
+			}
+		}
+	}
+}
+
+// TestPrefetchShortRows: rows shorter than the lookahead must neither crash
+// nor prefetch out of range — the guarded lead loop simply never runs.
+func TestPrefetchShortRows(t *testing.T) {
+	defer resetPrefetchForTest()
+	SetPrefetchDistance(maxPrefetchDistance)
+	for name, m := range csr32Cases() {
+		x := randVec(m.Cols(), 5)
+		want := make([]float64, m.Rows())
+		m.mulVecRange(want, x, 0, m.Rows()) // d read per call; same kernel, same knob
+		got := make([]float64, m.Rows())
+		m.MulVec(got, x)
+		if i, ok := bitsEqual(got, want); !ok {
+			t.Fatalf("%s: MulVec at max distance differs at %d", name, i)
+		}
+	}
+}
+
+// TestPrefetchDistanceClampAndPrecedence pins the knob semantics: clamping
+// to [0, maxPrefetchDistance], and an explicit set winning over auto-tune.
+func TestPrefetchDistanceClampAndPrecedence(t *testing.T) {
+	defer resetPrefetchForTest()
+	SetPrefetchDistance(-5)
+	if d := PrefetchDistance(); d != 0 {
+		t.Fatalf("negative distance clamped to %d, want 0", d)
+	}
+	SetPrefetchDistance(1 << 20)
+	if d := PrefetchDistance(); d != maxPrefetchDistance {
+		t.Fatalf("huge distance clamped to %d, want %d", d, maxPrefetchDistance)
+	}
+	SetPrefetchDistance(7)
+	if d := AutoTunePrefetch(); d != 7 {
+		t.Fatalf("AutoTunePrefetch overrode an explicit setting: %d", d)
+	}
+}
+
+// TestPrefetchAutoTuneInRange: whatever the probe picks must be a valid
+// knob value, and the choice must be sticky across calls.
+func TestPrefetchAutoTuneInRange(t *testing.T) {
+	defer resetPrefetchForTest()
+	d := AutoTunePrefetch()
+	if d < 0 || d > maxPrefetchDistance {
+		t.Fatalf("auto-tuned distance %d out of range", d)
+	}
+	if again := AutoTunePrefetch(); again != d {
+		t.Fatalf("auto-tune not stable: %d then %d", d, again)
+	}
+}
+
+// TestStreamBandwidthProbe: the triad probe must report a positive roof and
+// cache it — it is quoted on /metrics and in bench tables, so it cannot be
+// re-measured per scrape.
+func TestStreamBandwidthProbe(t *testing.T) {
+	a := StreamBandwidth()
+	if a <= 0 {
+		t.Fatalf("StreamBandwidth() = %v, want > 0", a)
+	}
+	if b := StreamBandwidth(); b != a {
+		t.Fatalf("StreamBandwidth not cached: %v then %v", a, b)
+	}
+}

@@ -121,6 +121,11 @@ type CSR struct {
 	// tr is the cached transpose built by CacheTranspose; MulVecT runs as
 	// a (parallelizable) row-gather over it when present.
 	tr *CSR
+	// bounds is the row partition cached by FirstTouch for the attached
+	// pool, so the apply kernels stop recomputing (and reallocating) it per
+	// call and sticky pools see the same chunk→worker map every apply.
+	// SetPool invalidates it. nil means compute per call.
+	bounds []int
 }
 
 // ParallelMinNNZ is the stored-entry count below which the matvec kernels
@@ -136,8 +141,40 @@ const ParallelMinNNZ = 1 << 15
 // serial kernels at any worker count. A nil pool restores serial execution.
 func (m *CSR) SetPool(p *par.Pool) *CSR {
 	m.pool = p
+	m.bounds = nil
 	if m.tr != nil {
-		m.tr.pool = p
+		m.tr.SetPool(p)
+	}
+	return m
+}
+
+// FirstTouch pins the matrix's parallel layout to the attached pool: it
+// caches the nnz-balanced row partition so the apply kernels stop
+// recomputing it on every call, and — when the pool is sticky — rewrites
+// each partition's col/val segment from the worker that owns the chunk, so
+// the backing pages are first-touched (hence, under first-touch NUMA
+// policy, placed) local to the worker that will stream them on every
+// future apply. Contents are identical afterwards; only page placement and
+// partition caching change, so results are unaffected. Call after SetPool
+// (which invalidates the cached partition); matrices below the parallel
+// threshold are left untouched. Returns m.
+func (m *CSR) FirstTouch() *CSR {
+	m.bounds = nil
+	if bounds, ok := m.parBounds(); ok {
+		if m.pool.Sticky() {
+			col := make([]int, len(m.col))
+			val := make([]float64, len(m.val))
+			m.pool.ForBounds(bounds, func(_, lo, hi int) {
+				s, e := m.rowPtr[lo], m.rowPtr[hi]
+				copy(col[s:e], m.col[s:e])
+				copy(val[s:e], m.val[s:e])
+			})
+			m.col, m.val = col, val
+		}
+		m.bounds = bounds
+	}
+	if m.tr != nil {
+		m.tr.FirstTouch()
 	}
 	return m
 }
@@ -165,6 +202,26 @@ func (m *CSR) CacheTranspose() *CSR {
 func (m *CSR) parBounds() ([]int, bool) {
 	if m.pool.Workers() <= 1 || len(m.val) < ParallelMinNNZ || m.rows < 2 {
 		return nil, false
+	}
+	if m.bounds != nil {
+		return m.bounds, true
+	}
+	return par.BoundsByPrefix(m.rowPtr, m.pool.Workers()), true
+}
+
+// batchParBounds is parBounds with the threshold scaled by the batch width:
+// a K-RHS batch does K times the work per stored entry, so chunk handoff
+// amortizes at 1/K of the nnz. The partition itself is unchanged — results
+// stay bit-identical either way; only the serial/parallel cutover moves.
+func (m *CSR) batchParBounds(width int) ([]int, bool) {
+	if width < 1 {
+		width = 1
+	}
+	if m.pool.Workers() <= 1 || len(m.val)*width < ParallelMinNNZ || m.rows < 2 {
+		return nil, false
+	}
+	if m.bounds != nil {
+		return m.bounds, true
 	}
 	return par.BoundsByPrefix(m.rowPtr, m.pool.Workers()), true
 }
@@ -320,29 +377,15 @@ func (m *CSR) MulVec(dst, x []float64) {
 	m.mulVecRange(dst, x, 0, m.rows)
 }
 
-// mulVecRange is the gather kernel behind MulVec and AddMulVec: four
-// independent accumulator lanes walk each row in stride-4 steps (remainder
-// entries fold into lane 0) and combine as (s0+s1)+(s2+s3). Breaking the
-// single loop-carried FP-add chain is worth ~2× on long rows; the lane
-// order is part of the layout contract — CSR32 runs the exact same
-// sequence, which is what keeps the two layouts bit-identical.
+// mulVecRange is the gather loop behind MulVec and AddMulVec; the shared
+// four-lane kernel (kernels.go) does the accumulation, so CSR and CSR32
+// run the exact same sequence — which is what keeps the two layouts
+// bit-identical — with the process-wide prefetch distance applied.
 func (m *CSR) mulVecRange(dst, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
 		start, end := m.rowPtr[i], m.rowPtr[i+1]
-		cols := m.col[start:end]
-		vals := m.val[start:end]
-		var s0, s1, s2, s3 float64
-		p := 0
-		for ; p+4 <= len(cols); p += 4 {
-			s0 += vals[p] * x[cols[p]]
-			s1 += vals[p+1] * x[cols[p+1]]
-			s2 += vals[p+2] * x[cols[p+2]]
-			s3 += vals[p+3] * x[cols[p+3]]
-		}
-		for ; p < len(cols); p++ {
-			s0 += vals[p] * x[cols[p]]
-		}
-		dst[i] = (s0 + s1) + (s2 + s3)
+		dst[i] = gatherRow4(m.col[start:end], m.val[start:end], x, d)
 	}
 }
 
@@ -352,12 +395,10 @@ func (m *CSR) mulVecRange(dst, x []float64, lo, hi int) {
 // in ascending row order, and only the sequential gather reproduces that
 // addition order bit for bit.
 func (m *CSR) mulVecRangeSeq(dst, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
-		var s float64
-		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			s += m.val[p] * x[m.col[p]]
-		}
-		dst[i] = s
+		start, end := m.rowPtr[i], m.rowPtr[i+1]
+		dst[i] = gatherRowSeq(m.col[start:end], m.val[start:end], x, d)
 	}
 }
 
@@ -365,9 +406,12 @@ func (m *CSR) mulVecRangeSeq(dst, x []float64, lo, hi int) {
 // batch, traversing the matrix row by row so that each row's indices and
 // values are read once from memory and reused across all K vectors. For the
 // memory-bound SpMV this amortizes the matrix traffic over the batch, which
-// is what makes multi-seed query batching pay off. dst and x must hold
+// is what makes multi-seed query batching pay off. Groups of four RHS run
+// through the RHS-interleaved kernel — each loaded index and value feeds
+// four independent accumulation chains, hiding gather latency behind work —
+// while each RHS's per-row accumulation order is unchanged, so every output
+// vector is bit-identical to MulVec on the same input. dst and x must hold
 // equally many vectors with the same per-vector dimension rules as MulVec.
-// A batch of one is bit-identical to MulVec.
 func (m *CSR) MulVecBatch(dst, x [][]float64) {
 	if len(dst) != len(x) {
 		panic(fmt.Sprintf("sparse: MulVecBatch got %d dst vectors for %d rhs", len(dst), len(x)))
@@ -378,7 +422,7 @@ func (m *CSR) MulVecBatch(dst, x [][]float64) {
 				len(dst[k]), len(x[k]), m.rows, m.cols))
 		}
 	}
-	if bounds, ok := m.parBounds(); ok {
+	if bounds, ok := m.batchParBounds(len(x)); ok {
 		m.pool.ForBounds(bounds, func(_, lo, hi int) { m.mulVecBatchRange(dst, x, lo, hi) })
 		return
 	}
@@ -386,28 +430,7 @@ func (m *CSR) MulVecBatch(dst, x [][]float64) {
 }
 
 func (m *CSR) mulVecBatchRange(dst, x [][]float64, rlo, rhi int) {
-	for i := rlo; i < rhi; i++ {
-		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
-		cols := m.col[lo:hi]
-		vals := m.val[lo:hi]
-		for k := range x {
-			xk := x[k]
-			// Same four-lane accumulation as mulVecRange, so a batch of
-			// one stays bit-identical to MulVec.
-			var s0, s1, s2, s3 float64
-			p := 0
-			for ; p+4 <= len(cols); p += 4 {
-				s0 += vals[p] * xk[cols[p]]
-				s1 += vals[p+1] * xk[cols[p+1]]
-				s2 += vals[p+2] * xk[cols[p+2]]
-				s3 += vals[p+3] * xk[cols[p+3]]
-			}
-			for ; p < len(cols); p++ {
-				s0 += vals[p] * xk[cols[p]]
-			}
-			dst[k][i] = (s0 + s1) + (s2 + s3)
-		}
-	}
+	mulVecBatchRows(m.rowPtr, m.col, m.val, dst, x, rlo, rhi)
 }
 
 // MulVecT computes dst = Mᵀ·x. dst must have length Cols and x length
@@ -457,22 +480,10 @@ func (m *CSR) AddMulVec(dst []float64, alpha float64, x []float64) {
 }
 
 func (m *CSR) addMulVecRange(dst []float64, alpha float64, x []float64, lo, hi int) {
+	d := PrefetchDistance()
 	for i := lo; i < hi; i++ {
 		start, end := m.rowPtr[i], m.rowPtr[i+1]
-		cols := m.col[start:end]
-		vals := m.val[start:end]
-		var s0, s1, s2, s3 float64
-		p := 0
-		for ; p+4 <= len(cols); p += 4 {
-			s0 += vals[p] * x[cols[p]]
-			s1 += vals[p+1] * x[cols[p+1]]
-			s2 += vals[p+2] * x[cols[p+2]]
-			s3 += vals[p+3] * x[cols[p+3]]
-		}
-		for ; p < len(cols); p++ {
-			s0 += vals[p] * x[cols[p]]
-		}
-		dst[i] += alpha * ((s0 + s1) + (s2 + s3))
+		dst[i] += alpha * gatherRow4(m.col[start:end], m.val[start:end], x, d)
 	}
 }
 

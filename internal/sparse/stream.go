@@ -1,0 +1,62 @@
+package sparse
+
+import (
+	"sync"
+	"time"
+
+	"bepi/internal/par"
+)
+
+// StreamBandwidth returns the machine's measured memory-bandwidth roof in
+// bytes/second: a one-shot STREAM-triad-style probe (a[i] = b[i] + q·c[i]
+// over three arrays far larger than cache, counting the canonical 24 bytes
+// of traffic per element, best of several passes). The triad is chunked
+// over the shared pool so the roof reflects all cores — the same budget the
+// parallel SpMV kernels run under — which makes achieved/STREAM a fair
+// fraction. The first call runs the probe (tens of milliseconds) and caches
+// the result for the process lifetime.
+func StreamBandwidth() float64 {
+	streamOnce.Do(func() { streamBW = measureStream() })
+	return streamBW
+}
+
+var (
+	streamOnce sync.Once
+	streamBW   float64
+)
+
+func measureStream() float64 {
+	const (
+		elems = 1 << 21 // three 16 MiB float64 arrays
+		q     = 3.0
+	)
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range b {
+		b[i] = float64(i & 1023)
+		c[i] = float64((i >> 3) & 511)
+	}
+	pool := par.Shared()
+	triad := func() {
+		pool.For(elems, func(_, lo, hi int) {
+			aa, bb, cc := a[lo:hi], b[lo:hi], c[lo:hi]
+			for i := range aa {
+				aa[i] = bb[i] + q*cc[i]
+			}
+		})
+	}
+	triad() // fault in pages, warm the path
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		triad()
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return float64(elems*24) / best.Seconds()
+}
