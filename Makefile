@@ -48,9 +48,11 @@ race:
 # observability layer (lock-free event ring, trace propagation across
 # HTTP backends during engine swaps, histogram snapshot merging), and the
 # latency-hiding kernel layer (RHS-interleaved batch multiply, the prefetch
-# knob, sticky first-touch pools, the STREAM probe).
+# knob, sticky first-touch pools, the STREAM probe), and the incremental
+# rebuild path (delta classification, Woodbury-corrected solves, drift
+# fallback) racing concurrent queries.
 race-par:
-	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen|Trace|Merge|Event|Snapshot|Interleav|Prefetch|Sticky|Stream' \
+	$(GO) test -race -count=2 -run 'Par|Parallel|Pool|Shared|Concurrent|Nested|Level|CSR32|Dynamic|Swap|Panic|Ring|Cluster|Generation|TopK|StopWhen|Trace|Merge|Event|Snapshot|Interleav|Prefetch|Sticky|Stream|Delta|Woodbury|Drift' \
 		. ./internal/par/ ./internal/sparse/ ./internal/lu/ ./internal/core/ \
 		./internal/obs/ ./internal/qexec/ ./internal/server/ ./internal/cluster/ \
 		./internal/solver/
@@ -86,10 +88,13 @@ bench-kernels:
 bench-spmv:
 	$(GO) test -run '^$$' -bench 'BenchmarkMulVecBatchInterleaved|BenchmarkPrefetchDistance' -benchtime=20x ./internal/sparse/
 
-# Smoke-run the dynamic-rebuild experiment on a small R-MAT graph: queries
-# keep answering while a background flush re-preprocesses, and the table
-# contrasts the in-rebuild p99 against a stop-the-world emulation. CI runs
-# it so regressions that reintroduce flush blocking show up as a p99 jump.
+# Smoke-run the dynamic-rebuild experiments on a small R-MAT graph: queries
+# keep answering while a background flush re-preprocesses (in-rebuild p99
+# vs a stop-the-world emulation), and the continuous-update-stream table
+# flushes per-batch edge deletions through the incremental delta path. CI
+# runs it so regressions that reintroduce flush blocking show up as a p99
+# jump, and a delta flush silently falling back to a full rebuild shows up
+# in the mode column and the vs-full ratio.
 bench-dynamic:
 	$(GO) run ./cmd/bepi-bench dynamic -size tiny
 

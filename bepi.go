@@ -32,7 +32,7 @@ import (
 // the bepi_build_info gauge on every Prometheus exposition and carried on
 // /metrics/snapshot payloads so a mixed-version fleet is visible at the
 // coordinator. Bump it with behavior-visible releases.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Edge is a directed edge from Src to Dst.
 type Edge struct {
@@ -225,6 +225,16 @@ func WithCompact(on bool) Option {
 	}
 }
 
+// WithMaxHubDrift bounds how far hub-touching incremental updates may
+// perturb the Schur complement before a Dynamic flush falls back to a full
+// rebuild: the drift score is ‖S_now − S_base‖F/‖S_base‖F accumulated
+// across hub deltas. 0 (the default) selects 0.1; a negative value disables
+// the hub-delta path entirely, so any hub-touching delta triggers a full
+// rebuild. Spoke-only deltas are exact and unaffected by this knob.
+func WithMaxHubDrift(max float64) Option {
+	return func(o *core.Options) { o.MaxHubDrift = max }
+}
+
 // Engine is a preprocessed RWR index. It is safe for concurrent queries.
 type Engine struct {
 	inner *core.Engine
@@ -333,6 +343,18 @@ func (e *Engine) SetCompact(on bool) { e.inner.SetCompact(on) }
 
 // Compacted reports whether the compact layout is active.
 func (e *Engine) Compacted() bool { return e.inner.Compacted() }
+
+// Drift reports the engine's accumulated hub-delta drift score — how far
+// incremental hub updates have moved the true Schur complement from the
+// factored base (see WithMaxHubDrift). Zero for engines whose factors are
+// exact for the graph they serve, including all spoke-only delta rebuilds.
+func (e *Engine) Drift() float64 { return e.inner.Drift() }
+
+// Corrected reports whether the engine serves through a Woodbury low-rank
+// correction installed by a hub delta. Corrected engines answer within the
+// solver tolerance but are not bit-identical to a full rebuild, cannot be
+// Saved, and serve top-k without certified early termination.
+func (e *Engine) Corrected() bool { return e.inner.Corrected() }
 
 // PreprocessTime reports how long preprocessing took.
 func (e *Engine) PreprocessTime() time.Duration { return e.inner.PrepStats().Total }

@@ -181,6 +181,7 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold via slog (0 = disabled)")
 	traceSample := flag.Int("trace-sample", qexec.DefaultTraceSample, "trace every Nth query into /debug/traces (1 = all; tracing allocates, sampling keeps it off the hot path)")
 	debugAddr := flag.String("debug-addr", "", "private listen address for net/http/pprof (empty = disabled)")
+	maxHubDrift := flag.Float64("max-hub-drift", 0, "dynamic mode: hub-delta drift threshold before a flush falls back to a full rebuild (0 = default 0.1, negative disables incremental hub updates)")
 	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator fronting -replicas instead of serving an index")
 	replicas := flag.String("replicas", "", "comma-separated replica addresses (host:port) for -coordinator mode")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "coordinator replica health-probe period")
@@ -231,6 +232,9 @@ func main() {
 		}
 		if *pinWorkers {
 			dynOpts = append(dynOpts, bepi.WithPinnedWorkers(true))
+		}
+		if *maxHubDrift != 0 {
+			dynOpts = append(dynOpts, bepi.WithMaxHubDrift(*maxHubDrift))
 		}
 		dyn, err := bepi.NewDynamic(g, dynOpts...)
 		if err != nil {

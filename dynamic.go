@@ -4,40 +4,64 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"bepi/internal/core"
+	"bepi/internal/graph"
 )
 
 // Dynamic maintains an RWR index over a graph that receives edge updates.
 // It implements the batch-update strategy the paper describes for dynamic
 // graphs (§5): updates accumulate in a buffer while queries are served from
 // the current index; Flush folds the buffered updates into the graph and
-// re-runs BePI's (fast) preprocessing. BePI's preprocessing speed is what
-// makes this strategy practical — rebuilding is the operation Figure 1(a)
-// shows it winning by orders of magnitude.
+// rebuilds the index. BePI's preprocessing speed is what makes this
+// strategy practical — rebuilding is the operation Figure 1(a) shows it
+// winning by orders of magnitude.
+//
+// A flush first tries an incremental rebuild (core.Engine.ApplyDelta): a
+// delta whose sources are all spokes reuses the SlashBurn ordering and hub
+// set, patches only the affected rows of the stored blocks, re-factors only
+// the touched H11 diagonal blocks, and recomputes only the affected Schur
+// columns — bit-identical to a full preprocess under the reused ordering at
+// a fraction of the cost. Hub-touching deltas are absorbed as a low-rank
+// Woodbury correction on the Schur solve (or an exact patch with a stale
+// preconditioner for implicit-operator engines) until the accumulated drift
+// crosses WithMaxHubDrift, at which point — like any delta the ordering
+// cannot absorb — the flush falls back to the full preprocessing pipeline.
+// RebuildStatus.Mode reports which path served each rebuild.
 //
 // Rebuilds run in the background: Flush (or StartFlush) snapshots the edge
-// set under a short lock, runs graph construction and BePI preprocessing
-// with no lock held, then atomically swaps the new engine in and bumps the
-// index generation. Queries therefore keep completing throughout a rebuild
-// — the only serialization they ever see is the pointer swap — and updates
+// set under a short lock, runs graph construction and the rebuild with no
+// lock held, then atomically swaps the new engine in and bumps the index
+// generation. Queries therefore keep completing throughout a rebuild — the
+// only serialization they ever see is the pointer swap — and updates
 // arriving mid-rebuild stay buffered for the next one. At most one rebuild
 // is in flight at a time; a Flush during a rebuild joins it.
 //
 // Dynamic is safe for concurrent use.
 type Dynamic struct {
-	mu      sync.RWMutex
-	opts    []Option
-	n       int
-	edges   map[[2]int]bool // the edge set of the serving index
-	pending map[[2]int]bool // true = insert, false = delete
+	mu   sync.RWMutex
+	opts []Option
+	n    int
+	// graph is the edge set of the serving index, kept as the immutable
+	// graph itself: rebuilds patch it with WithEdgeDeltas (O(M + changes))
+	// instead of re-sorting the whole edge list, and the no-op check in
+	// buffer is a binary search instead of a map probe.
+	graph     *Graph
+	pending   map[[2]int]bool // true = insert, false = delete
 	engine    *Engine
 	gen       uint64 // index generation; starts at 1, bumped per swap
 	onSwap    func(eng *Engine, gen uint64, rebuild time.Duration)
-	onRebuild func(id, gen uint64, rebuild time.Duration, err error)
+	onRebuild func(id, gen uint64, rebuild time.Duration, mode RebuildMode, err error)
 
 	rebuild *Rebuild            // in-flight rebuild, nil when idle
 	history map[uint64]*Rebuild // recent rebuilds by id, for status polling
 	order   []uint64            // history ids oldest-first, for bounding
 	nextID  uint64
+
+	// testRebuildGate, when non-nil, is received from by the rebuild
+	// goroutine after preprocessing and before the settle lock — a test
+	// hook to hold a rebuild in the running state deterministically.
+	testRebuildGate chan struct{}
 }
 
 // historyCap bounds how many finished rebuilds RebuildStatus can still see.
@@ -53,15 +77,12 @@ func NewDynamic(g *Graph, opts ...Option) (*Dynamic, error) {
 	d := &Dynamic{
 		opts:    opts,
 		n:       g.N(),
-		edges:   make(map[[2]int]bool, g.M()),
+		graph:   g,
 		pending: make(map[[2]int]bool),
 		engine:  eng,
 		gen:     1,
 		history: make(map[uint64]*Rebuild),
 		nextID:  1,
-	}
-	for _, e := range g.Edges() {
-		d.edges[[2]int{e.Src, e.Dst}] = true
 	}
 	return d, nil
 }
@@ -105,12 +126,13 @@ func (d *Dynamic) OnSwap(f func(eng *Engine, gen uint64, rebuild time.Duration))
 
 // OnRebuild registers f to be called when a background rebuild completes,
 // successfully or not: the rebuild id, the generation now serving (bumped
-// on success, unchanged on failure), the rebuild wall time, and the error
-// (nil on success). Unlike OnSwap it fires on failures too, so an
-// observability layer can record rebuild_fail events for rebuilds that
-// never swapped. Same constraints as OnSwap: f runs with Dynamic's lock
-// held — keep it short and do not call back into Dynamic.
-func (d *Dynamic) OnRebuild(f func(id, gen uint64, rebuild time.Duration, err error)) {
+// on success, unchanged on failure), the rebuild wall time, the path the
+// rebuild took (full, delta-spoke, delta-hub), and the error (nil on
+// success). Unlike OnSwap it fires on failures too, so an observability
+// layer can record rebuild_fail events for rebuilds that never swapped.
+// Same constraints as OnSwap: f runs with Dynamic's lock held — keep it
+// short and do not call back into Dynamic.
+func (d *Dynamic) OnRebuild(f func(id, gen uint64, rebuild time.Duration, mode RebuildMode, err error)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.onRebuild = f
@@ -150,7 +172,7 @@ func (d *Dynamic) buffer(src, dst int, insert bool) error {
 		return fmt.Errorf("bepi: edge (%d,%d) out of range n=%d", src, dst, d.n)
 	}
 	key := [2]int{src, dst}
-	if d.rebuild == nil && d.edges[key] == insert {
+	if d.rebuild == nil && d.hasEdgeLocked(src, dst) == insert {
 		delete(d.pending, key)
 		return nil
 	}
@@ -158,29 +180,69 @@ func (d *Dynamic) buffer(src, dst int, insert bool) error {
 	return nil
 }
 
+// hasEdgeLocked reports whether the serving edge set has (src, dst),
+// treating nodes the serving graph does not know yet (added but not
+// flushed) as edge-free. Callers hold d.mu.
+func (d *Dynamic) hasEdgeLocked(src, dst int) bool {
+	return src < d.graph.N() && dst < d.graph.N() && d.graph.HasEdge(src, dst)
+}
+
 // Pending returns the number of buffered updates not yet reflected in the
-// index. No-op updates (inserting an existing edge, deleting an absent
-// one) are canceled as they arrive, so a non-zero Pending means a Flush
-// has real work to do.
+// index: edge updates plus nodes added since the serving engine was built.
+// No-op edge updates (inserting an existing edge, deleting an absent one)
+// are canceled as they arrive, so a non-zero Pending means a Flush has real
+// work to do — including the AddNode-only case, where the next flush must
+// rebuild even though no edge is buffered.
 func (d *Dynamic) Pending() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.pending)
+	p := len(d.pending)
+	if d.engine != nil {
+		if growth := d.n - d.engine.N(); growth > 0 {
+			p += growth
+		}
+	}
+	return p
 }
+
+// RebuildMode is the path a rebuild took to produce its engine.
+type RebuildMode string
+
+// Rebuild modes, as surfaced by RebuildStatus.Mode and the
+// bepi_rebuild_mode metric.
+const (
+	// RebuildModeFull ran the complete preprocessing pipeline (SlashBurn,
+	// factorization, Schur complement) from scratch.
+	RebuildModeFull RebuildMode = "full"
+	// RebuildModeDeltaSpoke absorbed a spoke-only delta incrementally —
+	// ordering and hub set reused, touched blocks re-factored, affected
+	// Schur columns recomputed; bit-identical to a full preprocess under
+	// the reused ordering.
+	RebuildModeDeltaSpoke RebuildMode = "delta-spoke"
+	// RebuildModeDeltaHub absorbed a hub-touching delta incrementally with
+	// a Woodbury correction (or an exact patch with a stale ILU on
+	// implicit-operator engines).
+	RebuildModeDeltaHub RebuildMode = "delta-hub"
+	// RebuildModeNoop had nothing to do.
+	RebuildModeNoop RebuildMode = "noop"
+)
 
 // Rebuild is a handle on one background rebuild started by StartFlush.
 // Its result fields are published before Done's channel closes and must
 // only be read after it.
 type Rebuild struct {
-	id    uint64
-	start time.Time
-	done  chan struct{}
+	id       uint64
+	start    time.Time
+	genStart uint64 // generation serving when the rebuild began (immutable)
+	done     chan struct{}
 
 	// Written once by the rebuild goroutine before close(done).
 	err     error
 	gen     uint64
 	noop    bool
 	applied int
+	mode    RebuildMode
+	drift   float64
 	dur     time.Duration
 }
 
@@ -215,9 +277,19 @@ type RebuildStatus struct {
 	NoOp bool
 	// Applied is the number of buffered updates folded into the rebuild.
 	Applied int
-	// Generation is the index generation after the rebuild (the previous
-	// generation for failed or no-op rebuilds); zero while running.
+	// Generation is the index generation serving queries: while the
+	// rebuild runs, the generation it started from (queries are still
+	// answered by it); once settled, the generation after the rebuild
+	// (bumped on success, unchanged on failure or no-op). State — not a
+	// sentinel Generation value — distinguishes the two.
 	Generation uint64
+	// Mode is the path the rebuild took (full, delta-spoke, delta-hub,
+	// noop); empty while the rebuild is still running.
+	Mode RebuildMode
+	// Drift is the serving engine's accumulated hub-delta drift score
+	// after this rebuild (zero for exact rebuilds). Meaningful once
+	// settled.
+	Drift float64
 	// Duration is the rebuild wall time so far (final once settled).
 	Duration time.Duration
 	// Err is the failure, nil while running or on success.
@@ -230,9 +302,10 @@ func (r *Rebuild) Status() RebuildStatus {
 	case <-r.done:
 	default:
 		return RebuildStatus{
-			ID:       r.id,
-			State:    RebuildRunning,
-			Duration: time.Since(r.start),
+			ID:         r.id,
+			State:      RebuildRunning,
+			Generation: r.genStart,
+			Duration:   time.Since(r.start),
 		}
 	}
 	st := RebuildStatus{
@@ -241,6 +314,8 @@ func (r *Rebuild) Status() RebuildStatus {
 		NoOp:       r.noop,
 		Applied:    r.applied,
 		Generation: r.gen,
+		Mode:       r.mode,
+		Drift:      r.drift,
 		Duration:   r.dur,
 		Err:        r.err,
 	}
@@ -295,33 +370,23 @@ func (d *Dynamic) StartFlush() *Rebuild {
 	if d.rebuild != nil {
 		return d.rebuild
 	}
-	r := &Rebuild{id: d.nextID, start: time.Now(), done: make(chan struct{})}
+	r := &Rebuild{id: d.nextID, start: time.Now(), genStart: d.gen, done: make(chan struct{})}
 	d.nextID++
 	d.record(r)
 	if len(d.pending) == 0 && d.engine != nil && d.engine.N() == d.n {
 		r.noop = true
 		r.gen = d.gen
+		r.mode = RebuildModeNoop
 		close(r.done)
 		return r
 	}
-	// Snapshot under the lock: the merged edge set the rebuild will
-	// preprocess, and the buffer it consumes (restored on failure).
-	next := make(map[[2]int]bool, len(d.edges)+len(d.pending))
-	for e := range d.edges {
-		next[e] = true
-	}
-	for e, insert := range d.pending {
-		if insert {
-			next[e] = true
-		} else {
-			delete(next, e)
-		}
-	}
+	// Snapshot under the lock: the serving graph (immutable — the rebuild
+	// patches a copy) and the buffer it consumes (restored on failure).
 	snap := d.pending
 	d.pending = make(map[[2]int]bool)
 	r.applied = len(snap)
 	d.rebuild = r
-	go d.runRebuild(r, d.n, next, snap)
+	go d.runRebuild(r, d.n, d.graph, snap, d.engine)
 	return r
 }
 
@@ -336,26 +401,82 @@ func (d *Dynamic) record(r *Rebuild) {
 }
 
 // runRebuild is the background rebuild: all the expensive work — graph
-// construction and full BePI preprocessing — happens here with no lock
-// held, so queries and updates proceed freely. Only the final swap (or the
-// failure bookkeeping) re-acquires the lock, briefly.
-func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[2]int]bool) {
-	edges := make([]Edge, 0, len(next))
-	for e := range next {
-		edges = append(edges, Edge{Src: e[0], Dst: e[1]})
+// construction and the rebuild itself — happens here with no lock held, so
+// queries and updates proceed freely. Only the final swap (or the failure
+// bookkeeping) re-acquires the lock, briefly.
+//
+// The incremental path is tried first: the buffered delta is replayed
+// against the serving engine with ApplyDelta, which classifies it and
+// either absorbs it (reusing the ordering, untouched factors, and
+// unaffected Schur columns) or refuses. Any refusal — structural
+// (ErrDeltaFull), drift past threshold (ErrDriftExceeded), or a numerical
+// failure while patching — falls back to the full preprocessing pipeline,
+// so the delta path can only ever improve rebuild latency, never
+// availability. The swap and generation bump are identical on both paths;
+// downstream consumers (qexec executors, serving layers) see the same
+// OnSwap contract regardless of mode.
+func (d *Dynamic) runRebuild(r *Rebuild, n int, gBase *Graph, snap map[[2]int]bool, base *Engine) {
+	// Patch the snapshot graph with the buffered delta: O(M + changes), no
+	// edge-list re-sort. The buffer is normalized against the serving edge
+	// set, so the patch can only fail on an internal inconsistency; the
+	// defensive fallback rebuilds from the merged edge list.
+	var add, del []graph.Edge
+	for e, insert := range snap {
+		if insert {
+			add = append(add, graph.Edge{Src: e[0], Dst: e[1]})
+		} else {
+			del = append(del, graph.Edge{Src: e[0], Dst: e[1]})
+		}
 	}
-	g, err := NewGraph(n, edges)
+	var g *Graph
+	var err error
+	if gi, gerr := gBase.inner.WithEdgeDeltas(n, add, del); gerr == nil {
+		g = &Graph{inner: gi}
+	} else {
+		em := make(map[[2]int]bool, gBase.M()+len(snap))
+		for _, e := range gBase.inner.Edges() {
+			em[[2]int{e.Src, e.Dst}] = true
+		}
+		for e, insert := range snap {
+			if insert {
+				em[e] = true
+			} else {
+				delete(em, e)
+			}
+		}
+		edges := make([]Edge, 0, len(em))
+		for e := range em {
+			edges = append(edges, Edge{Src: e[0], Dst: e[1]})
+		}
+		g, err = NewGraph(n, edges)
+	}
 	var eng *Engine
-	if err == nil {
+	mode := RebuildModeFull
+	if err == nil && base != nil {
+		ops := make([]core.EdgeDelta, 0, len(snap))
+		for e, insert := range snap {
+			ops = append(ops, core.EdgeDelta{Src: e[0], Dst: e[1], Insert: insert})
+		}
+		if ce, st, derr := base.inner.ApplyDelta(g.inner, ops); derr == nil {
+			eng = &Engine{inner: ce}
+			mode = RebuildMode(st.Class.String())
+			r.drift = st.Drift
+		}
+	}
+	if err == nil && eng == nil {
 		eng, err = New(g, d.opts...)
 	}
 	if err != nil {
 		err = fmt.Errorf("bepi: rebuilding dynamic index: %w", err)
 	}
+	if d.testRebuildGate != nil {
+		<-d.testRebuildGate
+	}
 
 	d.mu.Lock()
 	d.rebuild = nil
 	r.dur = time.Since(r.start)
+	r.mode = mode
 	if err != nil {
 		// The old index keeps serving. Restore the consumed buffer without
 		// clobbering ops that arrived mid-rebuild (newer ops win per edge).
@@ -367,7 +488,7 @@ func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[
 		r.err = err
 		r.gen = d.gen
 	} else {
-		d.edges = next
+		d.graph = g
 		d.engine = eng
 		d.gen++
 		r.gen = d.gen
@@ -376,7 +497,7 @@ func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[
 	// no-op against the (possibly new) base set is canceled, restoring the
 	// invariant that pending holds real work only.
 	for e, insert := range d.pending {
-		if d.edges[e] == insert {
+		if d.hasEdgeLocked(e[0], e[1]) == insert {
 			delete(d.pending, e)
 		}
 	}
@@ -384,7 +505,7 @@ func (d *Dynamic) runRebuild(r *Rebuild, n int, next map[[2]int]bool, snap map[[
 		d.onSwap(eng, d.gen, r.dur)
 	}
 	if d.onRebuild != nil {
-		d.onRebuild(r.id, d.gen, r.dur, err)
+		d.onRebuild(r.id, d.gen, r.dur, mode, err)
 	}
 	d.mu.Unlock()
 	close(r.done)

@@ -1,0 +1,244 @@
+package bepi
+
+import (
+	"testing"
+
+	"bepi/internal/vec"
+)
+
+// TestDynamicPendingAfterAddNodeCountsGrowth is the regression test for the
+// AddNode bookkeeping bug: a node added with no buffered edges is pending
+// work — the next flush must rebuild to make it queryable — but Pending
+// reported 0, so callers gating Flush on Pending() > 0 never flushed.
+func TestDynamicPendingAfterAddNodeCountsGrowth(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := d.AddNode()
+	if got := d.Pending(); got == 0 {
+		t.Fatal("Pending() = 0 after AddNode; node growth is unflushed work")
+	} else if got != 1 {
+		t.Fatalf("Pending() = %d after one AddNode, want 1", got)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after flush, want 0", got)
+	}
+	if d.Engine().N() != 7 {
+		t.Fatalf("engine covers %d nodes after flush, want 7", d.Engine().N())
+	}
+	// Pure node growth reuses the ordering: the cheap delta path, exactly.
+	st := d.LastRebuild().Status()
+	if st.Mode != RebuildModeDeltaSpoke {
+		t.Fatalf("growth-only flush mode = %q, want %q", st.Mode, RebuildModeDeltaSpoke)
+	}
+	r, err := d.Query(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[id] <= 0 {
+		t.Fatal("new node got no restart mass")
+	}
+}
+
+// TestDynamicRunningStatusGeneration is the regression test for the
+// generation-sentinel bug: RebuildStatus used Generation == 0 to mean
+// "still running", so pollers could not tell which index was serving their
+// queries mid-rebuild. A running status must report the generation the
+// rebuild started from, with State — not a zero sentinel — carrying the
+// lifecycle phase.
+func TestDynamicRunningStatusGeneration(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	d.testRebuildGate = gate
+	if err := d.AddEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	r := d.StartFlush()
+	st := r.Status()
+	if st.State != RebuildRunning {
+		t.Fatalf("state = %q, want running", st.State)
+	}
+	if st.Generation != 1 {
+		t.Fatalf("running status Generation = %d, want the serving generation 1", st.Generation)
+	}
+	if st.Mode != "" {
+		t.Fatalf("running status Mode = %q, want empty until settled", st.Mode)
+	}
+	close(gate)
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Status()
+	if st.State != RebuildDone || st.Generation != 2 {
+		t.Fatalf("settled status = %+v, want done at generation 2", st)
+	}
+	if st.Mode == "" || st.Mode == RebuildModeNoop {
+		t.Fatalf("settled status Mode = %q, want a rebuild mode", st.Mode)
+	}
+}
+
+// TestDynamicFailedRebuildRenormalizesBuffer pins the failure path: when a
+// rebuild fails, the consumed buffer is restored (newer mid-rebuild ops
+// winning) and then re-normalized against the still-serving edge set, so
+// no-op updates buffered during the doomed rebuild cannot linger as
+// phantom pending work.
+func TestDynamicFailedRebuildRenormalizesBuffer(t *testing.T) {
+	d, err := NewDynamic(dynGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the next full rebuild fail. The op below is a new node with an
+	// out-edge — structurally impossible for the delta path — so the flush
+	// must take the full pipeline and hit the absurd budget.
+	d.opts = append(d.opts, WithMemoryBudget(1))
+	id := d.AddNode()
+	if err := d.AddEdge(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	d.testRebuildGate = gate
+	r := d.StartFlush()
+	// Mid-rebuild: buffer a no-op (edge 0→1 already serves). The in-flight
+	// rebuild suppresses buffer-time cancellation, so only the settle-time
+	// re-normalization can clear it.
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := r.Wait(); err == nil {
+		t.Fatal("rebuild with 1-byte budget succeeded; want failure")
+	}
+	if d.Generation() != 1 {
+		t.Fatalf("generation = %d after failed rebuild, want 1", d.Generation())
+	}
+	d.mu.RLock()
+	_, phantom := d.pending[[2]int{0, 1}]
+	_, restored := d.pending[[2]int{id, 0}]
+	d.mu.RUnlock()
+	if phantom {
+		t.Fatal("no-op buffered mid-rebuild survived the failure re-normalization")
+	}
+	if !restored {
+		t.Fatal("real op consumed by the failed rebuild was not restored")
+	}
+	// One real edge op plus one unflushed node.
+	if got := d.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d after failed rebuild, want 2", got)
+	}
+	// Recovery: lift the budget and flush for real.
+	d.opts = d.opts[:len(d.opts)-1]
+	d.testRebuildGate = nil
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Query(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicDeltaRebuildModes runs the incremental path end to end through
+// Dynamic: edge deletions (whose sources are by construction inside the
+// reused ordering) flush via a delta mode and answer identically to a fresh
+// engine; a structural change falls back to the full pipeline.
+func TestDynamicDeltaRebuildModes(t *testing.T) {
+	g := RMAT(7, 5, 3)
+	d, err := NewDynamic(g, WithTolerance(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete three edges whose sources keep at least one out-edge.
+	removed := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		if len(removed) == 3 {
+			break
+		}
+		if g.OutDegree(e.Src) >= 2 && !removed[[2]int{e.Src, e.Dst}] {
+			removed[[2]int{e.Src, e.Dst}] = true
+			if err := d.RemoveEdge(e.Src, e.Dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if d.Pending() != len(removed) {
+		t.Fatalf("Pending() = %d, want %d", d.Pending(), len(removed))
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.LastRebuild().Status()
+	if st.Mode != RebuildModeDeltaSpoke && st.Mode != RebuildModeDeltaHub {
+		t.Fatalf("deletion flush mode = %q, want a delta mode", st.Mode)
+	}
+	if st.Applied != len(removed) || st.Generation != 2 {
+		t.Fatalf("status = %+v, want %d applied at generation 2", st, len(removed))
+	}
+
+	// The delta-built index must answer like a from-scratch engine.
+	var kept []Edge
+	for _, e := range g.Edges() {
+		if !removed[[2]int{e.Src, e.Dst}] {
+			kept = append(kept, e)
+		}
+	}
+	gNew, err := NewGraph(g.N(), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(gNew, WithTolerance(1e-10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int{0, 1, g.N() / 2} {
+		got, err := d.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Query(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist := vec.Dist2(got, want); dist > 1e-7 {
+			t.Fatalf("seed %d: delta-flushed index off by %v", seed, dist)
+		}
+	}
+	if d.Engine().Corrected() && d.Engine().Drift() <= 0 {
+		t.Fatal("corrected engine must report positive drift")
+	}
+
+	// Re-inserting the same edges rides the delta path too (the entries
+	// lived inside the current ordering's blocks before).
+	for e := range removed {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = d.LastRebuild().Status()
+	if st.Mode != RebuildModeDeltaSpoke && st.Mode != RebuildModeDeltaHub {
+		t.Fatalf("re-insertion flush mode = %q, want a delta mode", st.Mode)
+	}
+
+	// A new node with an out-edge cannot reuse the ordering: full pipeline.
+	id := d.AddNode()
+	if err := d.AddEdge(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st = d.LastRebuild().Status(); st.Mode != RebuildModeFull {
+		t.Fatalf("structural flush mode = %q, want full", st.Mode)
+	}
+	if d.Generation() != 4 {
+		t.Fatalf("generation = %d, want 4", d.Generation())
+	}
+}

@@ -337,6 +337,9 @@ func (h *Handler) writeFleetProm(p *obs.PromWriter, snaps []obs.MetricsSnapshot)
 		p.Gauge("bepi_kernel_achieved_bytes_per_second", "Fleet-merged achieved solve-kernel bandwidth (summed bytes over summed seconds).", k.AchievedBytesPerSec)
 		p.Gauge("bepi_stream_bytes_per_second", "Measured STREAM-triad roof of the coordinator host.", k.StreamBytesPerSec)
 	}
+	// Incremental-rebuild adoption across the fleet (shards sum their
+	// delta-mode rebuild counts into the mergeable snapshot).
+	p.Counter("bepi_delta_applied_total", "Rebuilds absorbed incrementally by the delta path across the fleet.", float64(merged.Counters["delta_applied"]))
 	p50 := make(map[string]float64, len(snaps))
 	p99 := make(map[string]float64, len(snaps))
 	for _, s := range snaps {

@@ -119,7 +119,18 @@ type Options struct {
 	// to engines built by Preprocess; a loaded index always serves the
 	// explicit operator.
 	ImplicitSchur bool
+	// MaxHubDrift bounds how much hub-touching deltas may perturb the Schur
+	// complement before ApplyDelta refuses and demands a full rebuild: the
+	// drift score is ‖S_now − S̃_base‖F / ‖S̃_base‖F accumulated column-wise
+	// across hub deltas (see Engine.Drift). Zero selects the default 0.1; a
+	// negative value disables the hub-delta path entirely, so any
+	// hub-touching delta falls back to a full rebuild.
+	MaxHubDrift float64
 }
+
+// DefaultMaxHubDrift is the hub-drift threshold used when
+// Options.MaxHubDrift is zero.
+const DefaultMaxHubDrift = 0.1
 
 // CompactMode selects between the wide CSR and compact CSR32 index layouts
 // for the engine's stored matrices.
@@ -151,6 +162,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxIter <= 0 {
 		o.MaxIter = 1000
+	}
+	if o.MaxHubDrift == 0 {
+		o.MaxHubDrift = DefaultMaxHubDrift
 	}
 	return o
 }
@@ -240,8 +254,14 @@ type Engine struct {
 	h12, h21, h31, h32 mat
 	schur              mat
 	h22                mat // retained only when opts.ImplicitSchur
-	h11LU              *lu.BlockLU
-	ilu                *lu.ILU // nil unless VariantFull
+	// h22x retains the H22 block on explicit-operator engines purely for the
+	// incremental-rebuild path: ApplyDelta extracts affected H22 columns from
+	// it in one sweep instead of reconstructing them from the graph per
+	// column. Never read on the query path and not serialized — engines
+	// loaded from disk fall back to the per-column graph reconstruction.
+	h22x  mat
+	h11LU *lu.BlockLU
+	ilu   *lu.ILU // nil unless VariantFull
 
 	pool *par.Pool // compute pool for kernels; nil means serial
 	prep PrepStats
@@ -268,6 +288,20 @@ type Engine struct {
 	bndOnce   sync.Once
 	bndFactor float64
 	bndErr    error
+
+	// wood, when non-nil, is the Woodbury low-rank correction a hub-touching
+	// delta installed over the explicit Schur operator: the stored schur (and
+	// its ILU factors) remain the base S̃ the correction was built against,
+	// and runSchurSolve applies the rank-r update after every iterative
+	// solve. Engines with a correction cannot be serialized and do not serve
+	// the bounded top-k certificate. Built by ApplyDelta (delta.go).
+	wood *woodbury
+	// driftCols tracks, per Schur column, the accumulated perturbation
+	// ‖ΔS[:,j]‖₂ hub deltas have applied since the ILU factors (and, for
+	// corrected engines, the stored S̃) were last exact; driftBase is
+	// ‖S̃‖F at that point. Engine.Drift derives the relative score from them.
+	driftCols map[int]float64
+	driftBase float64
 
 	// tk caches the calibrated ℓ∞ error-to-residual ratio the bounded
 	// top-k certificate scales per-iteration residuals by. Unlike the
@@ -348,6 +382,7 @@ func (e *Engine) setCompactMatrices(on bool) {
 	e.h12, e.h21, e.h31, e.h32 = conv(e.h12), conv(e.h21), conv(e.h31), conv(e.h32)
 	e.schur = conv(e.schur)
 	e.h22 = conv(e.h22)
+	e.h22x = conv(e.h22x)
 	if e.ilu != nil {
 		if on {
 			e.ilu.Compact()
@@ -412,12 +447,6 @@ func (e *Engine) Pool() *par.Pool { return e.pool }
 func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	deadline := func() error {
-		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
-			return fmt.Errorf("after %v: %w", time.Since(start).Round(time.Millisecond), ErrDeadline)
-		}
-		return nil
-	}
 
 	e := &Engine{opts: opts, n: g.N(), pool: poolFor(opts.Parallelism, opts.PinWorkers)}
 	e.prep.N, e.prep.M = g.N(), g.M()
@@ -428,14 +457,51 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	t0 := time.Now()
 	e.ord = reorder.HubAndSpoke(g, opts.HubRatio)
 	e.prep.Reorder = time.Since(t0)
+	if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
+		return nil, fmt.Errorf("after %v: %w", time.Since(start).Round(time.Millisecond), ErrDeadline)
+	}
+	return e.preprocessFrom(g, start)
+}
+
+// PreprocessWithOrdering runs preprocessing stages 2–6 (build H, partition,
+// factor H11, Schur complement, ILU, compaction) under a caller-supplied
+// node ordering, skipping the SlashBurn reordering stage entirely. It is the
+// from-scratch reference for the delta-rebuild path: a spoke-only delta
+// rebuild must be bit-identical to PreprocessWithOrdering of the updated
+// graph under the reused ordering. The ordering must cover exactly g.N()
+// nodes and pass its own validation.
+func PreprocessWithOrdering(g *graph.Graph, opts Options, ord *reorder.Ordering) (*Engine, error) {
+	opts = opts.withDefaults()
+	if len(ord.Perm) != g.N() {
+		return nil, fmt.Errorf("core: ordering covers %d nodes, graph has %d", len(ord.Perm), g.N())
+	}
+	if err := ord.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid ordering: %w", err)
+	}
+	start := time.Now()
+	e := &Engine{opts: opts, n: g.N(), ord: ord, pool: poolFor(opts.Parallelism, opts.PinWorkers)}
+	e.prep.N, e.prep.M = g.N(), g.M()
+	e.prep.HubRatio = opts.HubRatio
+	e.prep.Workers = e.pool.Workers()
+	return e.preprocessFrom(g, start)
+}
+
+// preprocessFrom runs stages 2–6 of preprocessing on an engine whose
+// ordering (e.ord) is already in place. start anchors the deadline budget
+// and the Total stat.
+func (e *Engine) preprocessFrom(g *graph.Graph, start time.Time) (*Engine, error) {
+	opts := e.opts
+	deadline := func() error {
+		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
+			return fmt.Errorf("after %v: %w", time.Since(start).Round(time.Millisecond), ErrDeadline)
+		}
+		return nil
+	}
 	e.prep.N1, e.prep.N2, e.prep.N3 = e.ord.N1, e.ord.N2, e.ord.N3
 	e.prep.Blocks = len(e.ord.Blocks)
-	if err := deadline(); err != nil {
-		return nil, err
-	}
 
 	// 2. Build the reordered H = I − (1−c)Ãᵀ and partition it.
-	t0 = time.Now()
+	t0 := time.Now()
 	h := BuildH(g, e.ord.Perm, opts.C)
 	n1, n2 := e.ord.N1, e.ord.N2
 	l := n1 + n2
@@ -448,6 +514,8 @@ func Preprocess(g *graph.Graph, opts Options) (*Engine, error) {
 	e.h32 = h.Block(l, e.n, n1, l)
 	if opts.ImplicitSchur {
 		e.h22 = h22
+	} else {
+		e.h22x = h22
 	}
 	e.prep.BuildH = time.Since(t0)
 	if err := deadline(); err != nil {
@@ -674,6 +742,9 @@ func (e *Engine) MemoryBytes() int64 {
 		e.schur.MemoryBytes()
 	if e.h22 != nil {
 		total += e.h22.MemoryBytes()
+	}
+	if e.h22x != nil {
+		total += e.h22x.MemoryBytes()
 	}
 	if e.ilu != nil {
 		total += e.ilu.MemoryBytes()

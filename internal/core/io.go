@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -31,7 +32,16 @@ import (
 const indexMagic = 0x42504931
 
 // WriteTo serializes the engine. It implements io.WriterTo.
+//
+// Engines carrying a Woodbury correction refuse: their stored S is the base
+// of a low-rank update, not the served graph's Schur complement, and the
+// correction state is deliberately not part of the format. Run a full
+// rebuild first. (Implicit-operator delta engines patch S in place and stay
+// serializable.)
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	if e.wood != nil {
+		return 0, errors.New("core: cannot serialize a Woodbury-corrected engine; run a full rebuild first")
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var n int64
 	writeU64 := func(v uint64) error {

@@ -72,12 +72,27 @@ func (e *Engine) schurSolveOptions(ctx context.Context, op solver.Operator, ws *
 	return op, opts
 }
 
-// runSchurSolve dispatches the configured iterative method.
+// runSchurSolve dispatches the configured iterative method. On engines
+// carrying a Woodbury correction (hub deltas absorbed over the explicit
+// operator) the iteration runs against the stored base S̃ and the low-rank
+// correction maps the result to the updated graph's solution; every Schur
+// solve in the engine — queries, top-k, bound calibration — funnels through
+// here, so all of them see the corrected system consistently.
 func (e *Engine) runSchurSolve(op solver.Operator, qt2 []float64, opts solver.GMRESOptions) ([]float64, solver.Stats, error) {
+	var (
+		t2    []float64
+		stats solver.Stats
+		err   error
+	)
 	if e.opts.Solver == SolverBiCGSTAB {
-		return solver.BiCGSTAB(op, qt2, opts)
+		t2, stats, err = solver.BiCGSTAB(op, qt2, opts)
+	} else {
+		t2, stats, err = solver.GMRES(op, qt2, opts)
 	}
-	return solver.GMRES(op, qt2, opts)
+	if err == nil && e.wood != nil {
+		e.wood.correct(t2)
+	}
+	return t2, stats, err
 }
 
 // QueryWithCallback runs a query invoking cb with the fully assembled RWR

@@ -105,6 +105,32 @@ func FactorBlockDiagPool(m *sparse.CSR, blockSizes []int, p *par.Pool) (*BlockLU
 	return &BlockLU{offsets: offsets, factors: factors}, nil
 }
 
+// RefactorBlocks returns a new BlockLU that shares every untouched factor
+// (and the offsets slice) with b, replacing only the blocks named in raw.
+// Each raw entry maps a block index to that block's fresh, unfactored dense
+// content; RefactorBlocks LU-factors it in place. This is the partial
+// refactorization behind spoke-only delta rebuilds: a delta that touches k
+// of the H11 diagonal blocks costs k block factorizations instead of a full
+// FactorBlockDiagPool sweep. The receiver stays valid and keeps serving —
+// the shared factors are never written.
+func (b *BlockLU) RefactorBlocks(raw map[int]*dense.Matrix) (*BlockLU, error) {
+	factors := make([]*dense.Matrix, len(b.factors))
+	copy(factors, b.factors)
+	for i, blk := range raw {
+		if i < 0 || i >= len(b.factors) {
+			return nil, fmt.Errorf("lu: RefactorBlocks block %d out of range [0,%d)", i, len(b.factors))
+		}
+		if s := b.offsets[i+1] - b.offsets[i]; blk.R != s || blk.C != s {
+			return nil, fmt.Errorf("lu: RefactorBlocks block %d is %dx%d, want %dx%d", i, blk.R, blk.C, s, s)
+		}
+		if err := blk.LU(); err != nil {
+			return nil, fmt.Errorf("lu: refactoring block %d: %w", i, err)
+		}
+		factors[i] = blk
+	}
+	return &BlockLU{offsets: b.offsets, factors: factors}, nil
+}
+
 // N returns the dimension of the factored matrix.
 func (b *BlockLU) N() int { return b.offsets[len(b.offsets)-1] }
 

@@ -1,0 +1,192 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"bepi/internal/sparse"
+)
+
+// RefactorRows computes the ILU(0) factorization of aNew by reusing f's
+// factor rows wherever their inputs are provably unchanged, re-eliminating
+// only the rest. changed[i] must be true for every row i whose stored
+// values (or pattern) differ from the matrix f was factored from; rows are
+// additionally re-eliminated when their pattern no longer matches f's, and
+// the dirty set is closed transitively over the strict lower pattern (row
+// i's elimination reads the U part of every row in its lower pattern, so a
+// dirty ancestor dirties the row). Clean rows copy their factor values
+// verbatim and dirty rows run the exact FactorILU0 elimination loop, so
+// the result is bit-identical to FactorILU0(aNew) — by induction: a clean
+// row's inputs (its own values and all its ancestors' factors) are
+// unchanged, and a dirty row is recomputed from already-correct inputs.
+//
+// This is the incremental-rebuild complement to the partial H11 block
+// refactorization: a spoke-only delta perturbs a minority of Schur rows,
+// and the factorization cost follows the dirty closure instead of the
+// matrix. f is not modified (the serving engine keeps applying it); the
+// returned factor is always index-wide, compact it separately if needed.
+func (f *ILU) RefactorRows(aNew *sparse.CSR, changed []bool) (*ILU, error) {
+	n := aNew.Rows()
+	if n != aNew.Cols() {
+		return nil, fmt.Errorf("lu: ILU0 requires a square matrix, got %v", aNew)
+	}
+	if n != f.n {
+		return nil, fmt.Errorf("lu: RefactorRows dimension %d does not match factor dimension %d", n, f.n)
+	}
+	if len(changed) != n {
+		return nil, fmt.Errorf("lu: RefactorRows changed mask has %d rows, want %d", len(changed), n)
+	}
+	// Only the working values are copied; the index arrays are read, never
+	// written (buildTriFactors gathers into fresh level-ordered storage), so
+	// aNew's can be aliased directly.
+	rowPtr := aNew.RowPtr()
+	col := aNew.ColIdx()
+	val := make([]float64, aNew.NNZ())
+	copy(val, aNew.Values())
+
+	diagPos := make([]int, n)
+	for i := 0; i < n; i++ {
+		diagPos[i] = -1
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			if col[p] == i {
+				diagPos[i] = p
+				break
+			}
+		}
+		if diagPos[i] < 0 {
+			return nil, fmt.Errorf("lu: ILU0 missing diagonal at row %d", i)
+		}
+	}
+
+	// Storage position of each original row in the old factors.
+	invL := make([]int, n)
+	invU := make([]int, n)
+	for k, i := range f.l.order {
+		invL[int(i)] = k
+	}
+	for k, i := range f.u.order {
+		invU[int(i)] = k
+	}
+
+	// Single ascending sweep. A row is dirty when the caller flagged it,
+	// its pattern differs from the old factor's (cheap insurance against a
+	// stale mask), or a strict-lower ancestor is still dirty — row i's
+	// elimination reads its ancestors' U rows, so a changed ancestor can
+	// change it. Clean rows copy their old factor values verbatim (L part,
+	// then the diagonal-led U part — the same packed row order FactorILU0
+	// leaves behind); dirty rows run FactorILU0's exact elimination loop.
+	// Either way val holds correct factors when the sweep passes row i, so
+	// every later elimination reads correct inputs.
+	//
+	// Value-convergence pruning: a re-eliminated row whose factors come out
+	// bit-identical to the old ones stops the cascade — its descendants read
+	// exactly the inputs they were originally factored against. This prunes
+	// hard in practice: the strict-lower closure of a localized edit sweeps
+	// in the dense tail of the matrix, but a changed ancestor only changes a
+	// descendant when its pivot changed or its changed U entries land on the
+	// descendant's pattern.
+	dirty := make([]bool, n)
+	pos := make([]int, n)
+	for j := range pos {
+		pos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		ls, le := f.l.rowSpan(invL[i])
+		us, ue := f.u.rowSpan(invU[i])
+		lenOK := le-ls == diagPos[i]-rowPtr[i] && ue-us == rowPtr[i+1]-diagPos[i]
+		var d, patternOK bool
+		if changed[i] {
+			d = true
+			// The full pattern compare is only needed where its answer is
+			// used: flagged rows, to validate the value-convergence compare
+			// below. Unflagged rows have unchanged patterns by the mask
+			// contract; the O(1) length check is kept as cheap insurance.
+			patternOK = lenOK && f.rowPatternEqual(i, invL[i], invU[i], rowPtr, col, diagPos)
+		} else {
+			patternOK = lenOK
+			d = !lenOK
+			if !d {
+				for p := rowPtr[i]; p < diagPos[i]; p++ {
+					if dirty[col[p]] {
+						d = true
+						break
+					}
+				}
+			}
+		}
+		if !d {
+			copy(val[rowPtr[i]:diagPos[i]], f.l.val[ls:ls+diagPos[i]-rowPtr[i]])
+			copy(val[diagPos[i]:rowPtr[i+1]], f.u.val[us:us+rowPtr[i+1]-diagPos[i]])
+			continue
+		}
+		start, end := rowPtr[i], rowPtr[i+1]
+		for p := start; p < end; p++ {
+			pos[col[p]] = p
+		}
+		for p := start; p < end; p++ {
+			k := col[p]
+			if k >= i {
+				break
+			}
+			piv := val[diagPos[k]]
+			if piv == 0 {
+				piv = math.Copysign(1e-12, 1)
+			}
+			lik := val[p] / piv
+			val[p] = lik
+			for q := diagPos[k] + 1; q < rowPtr[k+1]; q++ {
+				j := col[q]
+				if t := pos[j]; t >= 0 {
+					val[t] -= lik * val[q]
+				}
+			}
+		}
+		if v := val[diagPos[i]]; v == 0 {
+			val[diagPos[i]] = 1e-12
+		}
+		for p := start; p < end; p++ {
+			pos[col[p]] = -1
+		}
+		if patternOK {
+			same := true
+			for p := rowPtr[i]; p < diagPos[i] && same; p++ {
+				same = math.Float64bits(val[p]) == math.Float64bits(f.l.val[ls+p-rowPtr[i]])
+			}
+			for p := diagPos[i]; p < rowPtr[i+1] && same; p++ {
+				same = math.Float64bits(val[p]) == math.Float64bits(f.u.val[us+p-diagPos[i]])
+			}
+			if same {
+				continue
+			}
+		}
+		dirty[i] = true
+	}
+
+	out := &ILU{n: n}
+	out.l, out.u = buildTriFactors(n, rowPtr, col, val, diagPos)
+	return out, nil
+}
+
+// rowPatternEqual reports whether packed row i of the new matrix has the
+// same column pattern as the old factor's row (storage rows kL/kU).
+func (f *ILU) rowPatternEqual(i, kL, kU int, rowPtr, col []int, diagPos []int) bool {
+	ls, le := f.l.rowSpan(kL)
+	if le-ls != diagPos[i]-rowPtr[i] {
+		return false
+	}
+	for p := 0; p < le-ls; p++ {
+		if f.l.colAt(ls+p) != col[rowPtr[i]+p] {
+			return false
+		}
+	}
+	us, ue := f.u.rowSpan(kU)
+	if ue-us != rowPtr[i+1]-diagPos[i] {
+		return false
+	}
+	for p := 0; p < ue-us; p++ {
+		if f.u.colAt(us+p) != col[diagPos[i]+p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,324 @@
+package lu
+
+import (
+	"math/rand"
+	"testing"
+
+	"bepi/internal/dense"
+	"bepi/internal/sparse"
+)
+
+// blockDiagCSR builds a strictly diagonally dominant block-diagonal matrix
+// with the given block sizes.
+func blockDiagCSR(rng *rand.Rand, sizes []int) *sparse.CSR {
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	a := sparse.NewCOO(n, n)
+	lo := 0
+	for _, s := range sizes {
+		for i := lo; i < lo+s; i++ {
+			a.Add(i, i, 4+rng.Float64())
+			for j := lo; j < lo+s; j++ {
+				if j != i && rng.Float64() < 0.5 {
+					a.Add(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		lo += s
+	}
+	return a.ToCSR()
+}
+
+// denseBlock extracts block b of a block-diagonal CSR as an unfactored dense
+// matrix, the form RefactorBlocks consumes.
+func denseBlock(m *sparse.CSR, lo, hi int) *dense.Matrix {
+	blk := dense.New(hi-lo, hi-lo)
+	for i := lo; i < hi; i++ {
+		s, e := m.RowRange(i)
+		for p := s; p < e; p++ {
+			blk.Set(i-lo, m.ColIdx()[p]-lo, m.Values()[p])
+		}
+	}
+	return blk
+}
+
+// TestRefactorBlocksDeltaBitIdentical checks that refactoring only the
+// changed blocks of a perturbed block-diagonal matrix yields factors
+// bit-identical to a from-scratch FactorBlockDiag of the perturbed matrix,
+// and that untouched factors are shared, not copied.
+func TestRefactorBlocksDeltaBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{3, 5, 2, 7, 4}
+	m := blockDiagCSR(rng, sizes)
+	base, err := FactorBlockDiag(m, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb blocks 1 and 3 (stay dominant).
+	m2 := m.Clone()
+	for _, b := range []int{1, 3} {
+		lo, hi := base.BlockRange(b)
+		for i := lo; i < hi; i++ {
+			s, e := m2.RowRange(i)
+			for p := s; p < e; p++ {
+				if m2.ColIdx()[p] == i {
+					m2.Values()[p] += 1
+				}
+			}
+		}
+	}
+
+	patched, err := base.RefactorBlocks(map[int]*dense.Matrix{
+		1: denseBlock(m2, base.offsets[1], base.offsets[2]),
+		3: denseBlock(m2, base.offsets[3], base.offsets[4]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := FactorBlockDiag(m2, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range sizes {
+		pf, ff := patched.factors[b], full.factors[b]
+		if len(pf.Data) != len(ff.Data) {
+			t.Fatalf("block %d factor size mismatch", b)
+		}
+		for k := range pf.Data {
+			if pf.Data[k] != ff.Data[k] {
+				t.Fatalf("block %d factor differs at %d: %v vs %v", b, k, pf.Data[k], ff.Data[k])
+			}
+		}
+	}
+	for _, b := range []int{0, 2, 4} {
+		if patched.factors[b] != base.factors[b] {
+			t.Fatalf("untouched block %d was copied, want shared", b)
+		}
+	}
+	for _, b := range []int{1, 3} {
+		if patched.factors[b] == base.factors[b] {
+			t.Fatalf("touched block %d still shared with base", b)
+		}
+	}
+	if &patched.offsets[0] != &base.offsets[0] {
+		t.Fatal("offsets slice not shared")
+	}
+}
+
+// TestRefactorBlocksDeltaErrors checks the out-of-range, shape-mismatch and
+// singular-block error paths, and that a failed refactor leaves the base
+// factorization untouched.
+func TestRefactorBlocksDeltaErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sizes := []int{2, 3}
+	m := blockDiagCSR(rng, sizes)
+	base, err := FactorBlockDiag(m, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.RefactorBlocks(map[int]*dense.Matrix{5: dense.New(1, 1)}); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := base.RefactorBlocks(map[int]*dense.Matrix{0: dense.New(3, 3)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := base.RefactorBlocks(map[int]*dense.Matrix{0: dense.New(2, 2)}); err == nil {
+		t.Fatal("singular block accepted")
+	}
+	// Base must still solve correctly after the failures above.
+	x := []float64{1, 2, 3, 4, 5}
+	base.Solve(x)
+	y := make([]float64, 5)
+	m.MulVec(y, x)
+	for i, want := range []float64{1, 2, 3, 4, 5} {
+		if d := y[i] - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("base corrupted: residual %v at %d", d, i)
+		}
+	}
+}
+
+// randSparseCSR builds a random square matrix with a full diagonal — the
+// shape FactorILU0 accepts — including occasional explicit zeros, which the
+// Schur build's cancellation produces and the ILU(0) pattern must keep.
+func randSparseCSR(rng *rand.Rand, n int, density float64) *sparse.CSR {
+	a := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 3+rng.Float64())
+		for j := 0; j < n; j++ {
+			if j != i && rng.Float64() < density {
+				v := rng.NormFloat64()
+				if rng.Float64() < 0.05 {
+					v = 0
+				}
+				a.Add(i, j, v)
+			}
+		}
+	}
+	return a.ToCSR()
+}
+
+// iluFactorsEqual compares two ILU factorizations entry-bitwise.
+func iluFactorsEqual(t *testing.T, a, b *ILU) {
+	t.Helper()
+	for _, f := range []struct {
+		name string
+		x, y *triFactor
+	}{{"L", &a.l, &b.l}, {"U", &a.u, &b.u}} {
+		if f.x.nnz() != f.y.nnz() {
+			t.Fatalf("%s nnz %d != %d", f.name, f.x.nnz(), f.y.nnz())
+		}
+		if len(f.x.order) != len(f.y.order) {
+			t.Fatalf("%s rows %d != %d", f.name, len(f.x.order), len(f.y.order))
+		}
+		for k := range f.x.order {
+			if f.x.order[k] != f.y.order[k] {
+				t.Fatalf("%s order[%d] = %d != %d", f.name, k, f.x.order[k], f.y.order[k])
+			}
+			xs, xe := f.x.rowSpan(k)
+			ys, ye := f.y.rowSpan(k)
+			if xe-xs != ye-ys {
+				t.Fatalf("%s row %d length %d != %d", f.name, k, xe-xs, ye-ys)
+			}
+			for p := 0; p < xe-xs; p++ {
+				if f.x.colAt(xs+p) != f.y.colAt(ys+p) {
+					t.Fatalf("%s row %d col %d != %d", f.name, k, f.x.colAt(xs+p), f.y.colAt(ys+p))
+				}
+				if f.x.val[xs+p] != f.y.val[ys+p] || (f.x.val[xs+p] == 0) != (f.y.val[ys+p] == 0) {
+					t.Fatalf("%s row %d entry %d: %v != %v", f.name, k, p, f.x.val[xs+p], f.y.val[ys+p])
+				}
+			}
+		}
+	}
+}
+
+// TestRefactorRowsDeltaBitIdentical perturbs a few rows' values (same
+// pattern) and checks the partial refactorization is bit-identical to a
+// from-scratch FactorILU0 of the perturbed matrix.
+func TestRefactorRowsDeltaBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{1, 7, 40, 120} {
+		m := randSparseCSR(rng, n, 0.12)
+		base, err := FactorILU0(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb the values of ~1/8 of the rows in place on a clone.
+		m2 := m.Clone()
+		changed := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() > 0.125 && i != n/2 {
+				continue
+			}
+			changed[i] = true
+			s, e := m2.RowRange(i)
+			for p := s; p < e; p++ {
+				if m2.ColIdx()[p] != i {
+					m2.Values()[p] += rng.NormFloat64()
+				}
+			}
+		}
+		want, err := FactorILU0(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := base.RefactorRows(m2, changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iluFactorsEqual(t, want, got)
+
+		// The old factor still matches the original matrix (untouched).
+		again, err := FactorILU0(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iluFactorsEqual(t, again, base)
+	}
+}
+
+// TestRefactorRowsPatternChange splices entries in and out of a row and
+// checks the pattern-mismatch insurance re-eliminates it even with a stale
+// (all-false) changed mask, via the dirty closure.
+func TestRefactorRowsPatternChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := 60
+	m := randSparseCSR(rng, n, 0.1)
+	base, err := FactorILU0(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the first off-diagonal entry of row n/3 and add one to row n/2.
+	var edits []sparse.Edit
+	i := n / 3
+	s, e := m.RowRange(i)
+	for p := s; p < e; p++ {
+		if j := m.ColIdx()[p]; j != i {
+			edits = append(edits, sparse.Edit{Row: i, Col: j, Delete: true})
+			break
+		}
+	}
+	k := n / 2
+	for j := 0; j < n; j++ {
+		if j != k && !hasEntry(m, k, j) {
+			edits = append(edits, sparse.Edit{Row: k, Col: j, Val: 1.5})
+			break
+		}
+	}
+	if len(edits) != 2 {
+		t.Fatalf("expected 2 edits, built %d", len(edits))
+	}
+	m2 := m.WithEdits(edits)
+	want, err := FactorILU0(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.RefactorRows(m2, make([]bool, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iluFactorsEqual(t, want, got)
+}
+
+func hasEntry(m *sparse.CSR, i, j int) bool {
+	s, e := m.RowRange(i)
+	for p := s; p < e; p++ {
+		if m.ColIdx()[p] == j {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRefactorRowsCompactBase checks the partial refactorization reads a
+// compacted base factor correctly (the default engine layout).
+func TestRefactorRowsCompactBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 50
+	m := randSparseCSR(rng, n, 0.15)
+	base, err := FactorILU0(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Compact()
+	m2 := m.Clone()
+	changed := make([]bool, n)
+	changed[n/4] = true
+	s, e := m2.RowRange(n / 4)
+	for p := s; p < e; p++ {
+		if m2.ColIdx()[p] != n/4 {
+			m2.Values()[p] *= 1.75
+		}
+	}
+	want, err := FactorILU0(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := base.RefactorRows(m2, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iluFactorsEqual(t, want, got)
+}

@@ -49,6 +49,13 @@ type Core struct {
 	personalized atomic.Int64
 	errors       atomic.Int64
 	queryNanos   atomic.Int64
+
+	// Dynamic-rebuild bookkeeping (atomic; exposed at /metrics).
+	// deltaApplied counts rebuilds absorbed incrementally (delta-spoke or
+	// delta-hub mode); lastRebuildMode holds the mode of the most recent
+	// settled rebuild as a bepi.RebuildMode string.
+	deltaApplied    atomic.Int64
+	lastRebuildMode atomic.Value
 }
 
 // NewCore builds a serving core over a static preprocessed engine. Call
@@ -80,17 +87,22 @@ func NewDynamicCore(d *bepi.Dynamic, cfg qexec.Config) *Core {
 	// engine-swap bookkeeping above; OnRebuild additionally fires for
 	// failed rebuilds, which never swap but are exactly what an incident
 	// review needs to see.
-	d.OnRebuild(func(id, gen uint64, rebuild time.Duration, err error) {
+	d.OnRebuild(func(id, gen uint64, rebuild time.Duration, mode bepi.RebuildMode, err error) {
 		ev := c.exec.Observer().Events
 		fields := map[string]string{
 			"id":         strconv.FormatUint(id, 10),
 			"generation": strconv.FormatUint(gen, 10),
 			"duration":   rebuild.String(),
+			"mode":       string(mode),
 		}
 		if err != nil {
 			fields["error"] = err.Error()
 			ev.Record("rebuild_fail", "", fields)
 			return
+		}
+		c.lastRebuildMode.Store(string(mode))
+		if mode == bepi.RebuildModeDeltaSpoke || mode == bepi.RebuildModeDeltaHub {
+			c.deltaApplied.Add(1)
 		}
 		ev.Record("rebuild_swap", "", fields)
 	})
@@ -138,6 +150,7 @@ func (c *Core) MetricsSnapshot() obs.MetricsSnapshot {
 			"solver_iterations": o.SolverIters.Load(),
 			"kernel_bytes":      o.KernelBytes.Load(),
 			"kernel_seconds_ns": o.KernelNanos.Load(),
+			"delta_applied":     c.deltaApplied.Load(),
 		},
 		Build: c.BuildInfo(),
 	}

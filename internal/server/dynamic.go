@@ -47,13 +47,19 @@ type EdgesResponse struct {
 }
 
 // RebuildJSON is a bepi.RebuildStatus in JSON form (for POST /flush and
-// GET /flush/{id}).
+// GET /flush/{id}). Generation is always present: while the rebuild runs it
+// is the generation still serving queries; once settled, the generation
+// after the rebuild — "state" carries the lifecycle, not a zero sentinel.
+// Mode reports which path the rebuild took (full, delta-spoke, delta-hub,
+// noop) once it has settled.
 type RebuildJSON struct {
 	ID         uint64  `json:"id"`
 	State      string  `json:"state"` // running | done | failed
 	NoOp       bool    `json:"noop,omitempty"`
 	Applied    int     `json:"applied"`
-	Generation uint64  `json:"generation,omitempty"`
+	Generation uint64  `json:"generation"`
+	Mode       string  `json:"mode,omitempty"`
+	Drift      float64 `json:"drift,omitempty"`
 	DurationMS float64 `json:"duration_ms"`
 	Error      string  `json:"error,omitempty"`
 }
@@ -65,6 +71,8 @@ func rebuildJSON(st bepi.RebuildStatus) RebuildJSON {
 		NoOp:       st.NoOp,
 		Applied:    st.Applied,
 		Generation: st.Generation,
+		Mode:       string(st.Mode),
+		Drift:      st.Drift,
 		DurationMS: float64(st.Duration.Microseconds()) / 1000,
 	}
 	if st.Err != nil {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"bepi"
 	"bepi/internal/obs"
 	"bepi/internal/qexec"
 	"bepi/internal/sparse"
@@ -106,7 +107,21 @@ func (s *Server) writeProm(p *obs.PromWriter) {
 		p.Histogram("bepi_rebuild_seconds", "Wall time of each background index rebuild.", o.Rebuild.Snapshot())
 	}
 	if s.core.dyn != nil {
-		p.Gauge("bepi_pending_updates", "Edge updates buffered since the last rebuild.", float64(s.core.dyn.Pending()))
+		p.Gauge("bepi_pending_updates", "Updates (edges and nodes) buffered since the last rebuild.", float64(s.core.dyn.Pending()))
+		p.Counter("bepi_delta_applied_total", "Rebuilds absorbed incrementally by the delta path (spoke or hub mode).", float64(s.core.deltaApplied.Load()))
+		// One-hot mode gauge: which path produced the serving index's most
+		// recent rebuild.
+		modes := map[string]float64{
+			string(bepi.RebuildModeFull):       0,
+			string(bepi.RebuildModeDeltaSpoke): 0,
+			string(bepi.RebuildModeDeltaHub):   0,
+			string(bepi.RebuildModeNoop):       0,
+		}
+		if m, ok := s.core.lastRebuildMode.Load().(string); ok && m != "" {
+			modes[m] = 1
+		}
+		p.GaugeVec("bepi_rebuild_mode", "Mode of the most recent settled rebuild (one-hot).", "mode", modes)
+		p.Gauge("bepi_hub_drift", "Accumulated hub-delta drift of the serving engine (see WithMaxHubDrift).", s.core.Engine().Drift())
 	}
 	p.Gauge("bepi_index_generation", "Serving-engine generation (bumped on every swap).", float64(xm.Generation))
 	p.Counter("bepi_engine_swaps_total", "Engine swaps applied by the executor.", float64(xm.EngineSwaps))

@@ -1,0 +1,158 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCSRForEdits builds a random sparse matrix via COO (duplicates merged).
+func randomCSRForEdits(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	a := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		a.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return a.ToCSR()
+}
+
+// TestWithEditsDeltaMatchesDense applies random edit batches (inserts,
+// overwrites, deletes, and explicit-zero stores) and checks the result
+// against a dense reference, plus that the receiver is untouched.
+func TestWithEditsDeltaMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCSRForEdits(rng, rows, cols, rng.Intn(3*rows))
+		before := m.Clone()
+
+		ref := make(map[[2]int]float64)
+		for i := 0; i < rows; i++ {
+			for p, e := m.RowRange(i); p < e; p++ {
+				ref[[2]int{i, m.ColIdx()[p]}] = m.Values()[p]
+			}
+		}
+		var edits []Edit
+		for k := 0; k < rng.Intn(20); k++ {
+			e := Edit{Row: rng.Intn(rows), Col: rng.Intn(cols)}
+			switch rng.Intn(3) {
+			case 0:
+				e.Delete = true
+			case 1:
+				e.Val = rng.NormFloat64()
+			case 2:
+				e.Val = 0 // explicit zero must be stored, not dropped
+			}
+			edits = append(edits, e)
+			if e.Delete {
+				delete(ref, [2]int{e.Row, e.Col})
+			} else {
+				ref[[2]int{e.Row, e.Col}] = e.Val
+			}
+		}
+
+		got := m.WithEdits(edits)
+		if !m.Equal(before) {
+			t.Fatalf("trial %d: receiver mutated by WithEdits", trial)
+		}
+		if got.NNZ() != len(ref) {
+			t.Fatalf("trial %d: nnz=%d want %d (explicit zeros must be kept)", trial, got.NNZ(), len(ref))
+		}
+		for pos, want := range ref {
+			if v := got.At(pos[0], pos[1]); v != want {
+				t.Fatalf("trial %d: at (%d,%d) got %v want %v", trial, pos[0], pos[1], v, want)
+			}
+		}
+		// Pattern invariant: strictly increasing columns per row.
+		for i := 0; i < got.Rows(); i++ {
+			for p, e := got.RowRange(i); p+1 < e; p++ {
+				if got.ColIdx()[p] >= got.ColIdx()[p+1] {
+					t.Fatalf("trial %d: row %d columns not strictly increasing", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWithEditsDeltaLastWins pins the documented conflict rule: when several
+// edits target one position, the last in the slice wins.
+func TestWithEditsDeltaLastWins(t *testing.T) {
+	m := Identity(3)
+	got := m.WithEdits([]Edit{
+		{Row: 1, Col: 1, Val: 7},
+		{Row: 1, Col: 1, Delete: true},
+		{Row: 1, Col: 1, Val: 9},
+		{Row: 0, Col: 2, Val: 5},
+		{Row: 0, Col: 2, Delete: true},
+	})
+	if v := got.At(1, 1); v != 9 {
+		t.Fatalf("(1,1)=%v want 9", v)
+	}
+	if v := got.At(0, 2); v != 0 {
+		t.Fatalf("(0,2)=%v want deleted", v)
+	}
+	if got.NNZ() != 3 {
+		t.Fatalf("nnz=%d want 3", got.NNZ())
+	}
+}
+
+// TestWithEditsDeltaNoEdits checks the empty-batch fast path returns an
+// independent copy.
+func TestWithEditsDeltaNoEdits(t *testing.T) {
+	m := Identity(4)
+	got := m.WithEdits(nil)
+	if !got.Equal(m) {
+		t.Fatal("empty edit batch changed the matrix")
+	}
+	got.Values()[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("result shares backing arrays with receiver")
+	}
+}
+
+// TestWithRowsAppendedDelta checks shape, content, and backing-array
+// independence of the node-growth helper.
+func TestWithRowsAppendedDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSRForEdits(rng, 5, 4, 11)
+	got := m.WithRowsAppended(3)
+	if got.Rows() != 8 || got.Cols() != 4 {
+		t.Fatalf("shape %dx%d want 8x4", got.Rows(), got.Cols())
+	}
+	if got.NNZ() != m.NNZ() {
+		t.Fatalf("nnz=%d want %d", got.NNZ(), m.NNZ())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("entry (%d,%d) changed", i, j)
+			}
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if s, e := got.RowRange(i); s != e {
+			t.Fatalf("appended row %d not empty", i)
+		}
+	}
+	if len(m.Values()) > 0 {
+		got.Values()[0] = 1e9
+		if m.Values()[0] == 1e9 {
+			t.Fatal("result shares val array with receiver")
+		}
+	}
+	if got.WithRowsAppended(0).Rows() != got.Rows() {
+		t.Fatal("k=0 changed row count")
+	}
+}
+
+// TestWithColsWidenedDelta checks the column-widening helper.
+func TestWithColsWidenedDelta(t *testing.T) {
+	m := Identity(3)
+	got := m.WithColsWidened(5)
+	if got.Rows() != 3 || got.Cols() != 5 || got.NNZ() != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got.At(i, i) != 1 {
+			t.Fatalf("diagonal lost at %d", i)
+		}
+	}
+}
